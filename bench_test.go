@@ -1,0 +1,303 @@
+// Benchmarks regenerating the measurable side of every experiment in
+// DESIGN.md's index (E1–E12). Each experiment that compares two
+// strategies gets one benchmark per strategy, so `go test -bench=.`
+// prints the paper's "who wins, by how much" shape directly.
+package reorder
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/executor"
+	"repro/internal/experiments"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// --- E1: generalized selection over Example 2.1-shaped data ---------
+
+// BenchmarkE1GSCompensation measures a compensated plan (GS over a
+// reordered outer-join pair, the Example 2.1 shape) at scale.
+func BenchmarkE1GSCompensation(b *testing.B) {
+	db := Database{}
+	for i, name := range []string{"r1", "r2", "r3"} {
+		db[name] = datagen.Uniform(newRand(int64(i+1)), name,
+			datagen.UniformConfig{Rows: 800, Domain: 200})
+	}
+	q := experiments.Query2()
+	split, err := core.DeferConjuncts(q, q.(*plan.Join), []int{0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := executor.Run(split, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2/E3: hypergraph construction and association-tree enumeration
+
+func BenchmarkE2Hypergraph(b *testing.B) {
+	q := experiments.Q4()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Hypergraph(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3AssociationTrees(b *testing.B) {
+	q := experiments.Q4()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := AssociationTreeCounts(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4/E5/E6: identity application and Theorem 1 splitting ---------
+
+func BenchmarkE4IdentitySplit(b *testing.B) {
+	q := experiments.Query2()
+	top := q.(*plan.Join)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DeferConjuncts(q, top, []int{0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7: Example 1.1, aggregate-first vs join-first -----------------
+
+func e7DB() Database {
+	cfg := datagen.DefaultSupplierConfig
+	cfg.DetailRows = 10000
+	return datagen.Supplier(cfg)
+}
+
+func BenchmarkE7AsWritten(b *testing.B) {
+	db := e7DB()
+	q, _, err := experiments.E7Plans(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := executor.Run(q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7Reordered(b *testing.B) {
+	db := e7DB()
+	_, q, err := experiments.E7Plans(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := executor.Run(q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: TIS vs unnested join-aggregate -----------------------------
+
+func BenchmarkE8TIS(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		b.Run(fmt.Sprintf("r1=%d", n), func(b *testing.B) {
+			db := experiments.E8DB(n, experiments.DefaultE8Config())
+			q := experiments.E8Query()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.TIS(db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE8Unnested(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		b.Run(fmt.Sprintf("r1=%d", n), func(b *testing.B) {
+			db := experiments.E8DB(n, experiments.DefaultE8Config())
+			q := experiments.E8Query()
+			unnested, err := q.Unnest(db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := executor.Run(unnested, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E9: Query 2 as written vs the GS reordering ---------------------
+
+func e9DB() Database {
+	db := Database{}
+	db["r1"] = datagen.Uniform(newRand(9), "r1", datagen.UniformConfig{Rows: 5000, Domain: 100})
+	db["r2"] = datagen.Uniform(newRand(10), "r2", datagen.UniformConfig{Rows: 200, Domain: 100})
+	db["r3"] = datagen.Uniform(newRand(11), "r3", datagen.UniformConfig{Rows: 200, Domain: 100})
+	return db
+}
+
+func BenchmarkE9AsWritten(b *testing.B) {
+	db := e9DB()
+	q := experiments.Query2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := executor.Run(q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9Reordered(b *testing.B) {
+	db := e9DB()
+	q := experiments.Query2()
+	res, err := Optimize(q, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := executor.Run(res.Best.Plan, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E10: optimizer enumeration scaling -----------------------------
+
+func BenchmarkE10Saturation(b *testing.B) {
+	for n := 3; n <= 5; n++ {
+		q := chainQuery(n)
+		b.Run(fmt.Sprintf("rels=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Saturate(q, core.SaturateOptions{MaxPlans: 100000})
+			}
+		})
+	}
+}
+
+func BenchmarkE10Optimize(b *testing.B) {
+	db := datagen.Chain(5, datagen.UniformConfig{Rows: 100, Domain: 20}, 10)
+	for n := 3; n <= 5; n++ {
+		q := chainQuery(n)
+		est := stats.NewEstimator(stats.FromDatabase(db))
+		b.Run(fmt.Sprintf("rels=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := optimizer.New(est).Optimize(q, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E11: GS as the primitive binary operator -----------------------
+
+func BenchmarkE11GenSelect(b *testing.B) {
+	db := e9DB()
+	q := experiments.Query2()
+	split, err := core.DeferConjuncts(q, q.(*plan.Join), []int{0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gs := split.(*plan.GenSel)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := executor.Run(gs, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E12: Example 3.1 push-up at scale -------------------------------
+
+func BenchmarkE12PushUpOriginal(b *testing.B) {
+	db := e12DB()
+	q, _, err := experiments.E12Plans(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := executor.Run(q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12PushUpRewritten(b *testing.B) {
+	db := e12DB()
+	_, q, err := experiments.E12Plans(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := executor.Run(q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func e12DB() Database {
+	db := Database{}
+	db["r1"] = datagen.Uniform(newRand(21), "r1", datagen.UniformConfig{Rows: 800, Domain: 50})
+	db["r2"] = datagen.Uniform(newRand(22), "r2", datagen.UniformConfig{Rows: 800, Domain: 50})
+	db["r3"] = datagen.Uniform(newRand(23), "r3", datagen.UniformConfig{Rows: 100, Domain: 50})
+	return db
+}
+
+// --- executor-strategy benchmarks ------------------------------------
+
+// BenchmarkExecutorStrategies compares the three execution modes on
+// the same three-way outer-join query: the materializing executor,
+// the Volcano iterator tree, and the goroutine-parallel probe.
+func BenchmarkExecutorStrategies(b *testing.B) {
+	db := Database{}
+	for i, name := range []string{"r1", "r2", "r3"} {
+		db[name] = datagen.Uniform(newRand(int64(100+i)), name,
+			datagen.UniformConfig{Rows: 20000, Domain: 2000})
+	}
+	q := experiments.Query2()
+	b.Run("materializing", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := executor.Run(q, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := executor.RunStreaming(q, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := executor.RunParallel(q, db, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,42 @@
+// Command experiments regenerates the paper's tables, figures and
+// worked examples (the E1–E12 index of DESIGN.md).
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -exp e7    # run one experiment
+//	experiments -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.All, "\n"))
+		return
+	}
+	ids := experiments.All
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		out, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Println(strings.Repeat("=", 78))
+	}
+}

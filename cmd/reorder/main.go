@@ -1,0 +1,102 @@
+// Command reorder optimizes a SQL query against the built-in
+// Example 1.1 supplier workload (or a chain database) and prints the
+// hypergraph, the plan space and the chosen plan.
+//
+// Usage:
+//
+//	reorder -query "select ... from ..."          # optimize a query
+//	reorder -demo supplier                        # run the Example 1.1 demo
+//	reorder -demo q4                              # show Figure 1's hypergraph & trees
+//
+// The tool is deliberately self-contained: the workload is generated
+// in memory, so every invocation is reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	reorder "repro"
+
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/stats"
+)
+
+func main() {
+	query := flag.String("query", "", "SQL query to optimize against the supplier workload")
+	dataDir := flag.String("data", "", "directory of .csv files to use as the database instead of the supplier workload")
+	demo := flag.String("demo", "", "built-in demo: supplier | q4 | query2")
+	baseline := flag.Bool("baseline", false, "also show the pre-paper baseline optimizer's choice")
+	rows := flag.Bool("rows", false, "execute the chosen plan and print its result")
+	dot := flag.Bool("dot", false, "emit the chosen plan as Graphviz DOT instead of text")
+	flag.Parse()
+
+	db := datagen.Supplier(datagen.DefaultSupplierConfig)
+	if *dataDir != "" {
+		loaded, err := reorder.LoadCSVDir(*dataDir)
+		exitOn(err)
+		db = loaded
+	}
+
+	switch {
+	case *demo == "q4":
+		out, err := experiments.Run("e2")
+		exitOn(err)
+		fmt.Println(out)
+		out, err = experiments.Run("e3")
+		exitOn(err)
+		fmt.Println(out)
+		return
+	case *demo == "query2":
+		out, err := experiments.Run("e9")
+		exitOn(err)
+		fmt.Println(out)
+		return
+	case *demo == "supplier":
+		out, err := experiments.Run("e7")
+		exitOn(err)
+		fmt.Println(out)
+		return
+	case *query == "":
+		fmt.Fprintln(os.Stderr, "provide -query or -demo (supplier | q4 | query2)")
+		os.Exit(2)
+	}
+
+	node, err := sql.ParseAndLower(*query, db)
+	exitOn(err)
+	fmt.Println("query plan as written:")
+	fmt.Println(plan.Indent(node))
+
+	est := stats.NewEstimator(stats.FromDatabase(db))
+	res, err := optimizer.New(est).Optimize(node, db)
+	exitOn(err)
+	fmt.Println(optimizer.Explain(res))
+
+	if *baseline {
+		base, err := optimizer.NewBaseline(est).Optimize(node, db)
+		exitOn(err)
+		fmt.Printf("baseline (no generalized selection): %d plans, best cost %.1f\n",
+			base.Considered, base.Best.Cost)
+	}
+	if *dot {
+		fmt.Println(plan.DOT(res.Best.Plan))
+	}
+	if *rows {
+		out, err := res.Best.Plan.Eval(db)
+		exitOn(err)
+		out.SortForDisplay()
+		fmt.Println(out)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

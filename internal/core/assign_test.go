@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/assoctree"
+	"repro/internal/expr"
+	"repro/internal/hypergraph"
+	"repro/internal/plan"
+)
+
+// q4Plan rebuilds Example 3.2's query.
+func q4Plan() plan.Node {
+	p12 := eqX("r1", "r2")
+	p24 := eqX("r2", "r4")
+	p25 := eqY("r2", "r5")
+	p45 := eqX("r4", "r5")
+	p35 := eqY("r3", "r5")
+	inner := plan.NewJoin(plan.InnerJoin, p35,
+		plan.NewJoin(plan.InnerJoin, p45, plan.NewScan("r4"), plan.NewScan("r5")),
+		plan.NewScan("r3"))
+	mid := plan.NewJoin(plan.LeftJoin, expr.And(p24, p25), plan.NewScan("r2"), inner)
+	return plan.NewJoin(plan.LeftJoin, p12, plan.NewScan("r1"), mid)
+}
+
+// TestAssignOperatorsQ4AllTrees is the Section 4 integration test:
+// for EVERY Definition 3.2 association tree of Q4, operator
+// assignment produces an expression tree equivalent to the original
+// query — verified by execution on randomized databases.
+func TestAssignOperatorsQ4AllTrees(t *testing.T) {
+	q := q4Plan()
+	h, err := hypergraph.FromPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enum, err := assoctree.NewEnumerator(h, hypergraph.Broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := enum.Trees(0)
+	if len(trees) < 10 {
+		t.Fatalf("expected the full broken-mode tree space, got %d", len(trees))
+	}
+	rng := rand.New(rand.NewSource(44))
+	assigned := 0
+	for _, tr := range trees {
+		node, err := AssignOperators(h, tr)
+		if err != nil {
+			t.Fatalf("tree %s: %v", tr, err)
+		}
+		assigned++
+		for trial := 0; trial < 8; trial++ {
+			db := randDB(rng, 4, 3, "r1", "r2", "r3", "r4", "r5")
+			mustEquivalent(t, q, node, db, "Q4 assignment for tree "+tr.String())
+		}
+	}
+	if assigned != len(trees) {
+		t.Errorf("assigned %d of %d trees", assigned, len(trees))
+	}
+}
+
+// TestAssignOperatorsQuery2 checks all trees of the Query 2 shape.
+func TestAssignOperatorsQuery2(t *testing.T) {
+	q := query2()
+	h, err := hypergraph.FromPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enum, err := assoctree.NewEnumerator(h, hypergraph.Broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(45))
+	for _, tr := range enum.Trees(0) {
+		node, err := AssignOperators(h, tr)
+		if err != nil {
+			t.Fatalf("tree %s: %v", tr, err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			db := randDB(rng, 5, 3, "r1", "r2", "r3")
+			mustEquivalent(t, q, node, db, "Query 2 assignment for tree "+tr.String())
+		}
+	}
+}
+
+// TestAssignOperatorsInnerChain: pure join chains assign to pure join
+// trees with no compensation.
+func TestAssignOperatorsInnerChain(t *testing.T) {
+	q := plan.NewJoin(plan.InnerJoin, eqY("r2", "r3"),
+		plan.NewJoin(plan.InnerJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2")),
+		plan.NewScan("r3"))
+	h, err := hypergraph.FromPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enum, err := assoctree.NewEnumerator(h, hypergraph.Broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(46))
+	for _, tr := range enum.Trees(0) {
+		node, err := AssignOperators(h, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan.Walk(node, func(m plan.Node) {
+			switch m.(type) {
+			case *plan.GenSel, *plan.MGOJNode:
+				t.Errorf("tree %s: inner-join query should need no compensation:\n%s", tr, plan.Indent(node))
+			case *plan.Join:
+				if m.(*plan.Join).Kind != plan.InnerJoin {
+					t.Errorf("tree %s: unexpected outer join", tr)
+				}
+			}
+		})
+		for trial := 0; trial < 8; trial++ {
+			db := randDB(rng, 5, 3, "r1", "r2", "r3")
+			mustEquivalent(t, q, node, db, "chain assignment")
+		}
+	}
+}
+
+// TestAssignOperatorsMatchesPaperQ4Prime pins the structure of the
+// paper's Q4' construction: the tree (r1.((r2.r4).(r5.r3))) yields an
+// MGOJ preserving the r2-part and a top-level σ* for the deferred
+// p25, as in Section 3's worked derivation.
+func TestAssignOperatorsMatchesPaperQ4Prime(t *testing.T) {
+	q := q4Plan()
+	h, err := hypergraph.FromPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := assoctree.ParseTree("(r1.((r2.r4).(r5.r3)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := AssignOperators(h, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, ok := node.(*plan.GenSel)
+	if !ok {
+		t.Fatalf("expected a top-level generalized selection:\n%s", plan.Indent(node))
+	}
+	if len(gs.Preserved) != 1 || gs.Preserved[0].String() != "r1r2" {
+		t.Errorf("σ* preserved = %v, want [r1r2] (the paper's σ*_{p2,5}[r1,r2])", gs.Preserved)
+	}
+	foundMGOJ := false
+	plan.Walk(node, func(m plan.Node) {
+		if mg, ok := m.(*plan.MGOJNode); ok {
+			foundMGOJ = true
+			if len(mg.Preserved) != 1 || mg.Preserved[0].String() != "r2" {
+				t.Errorf("MGOJ preserved = %v, want [r2] (the r1r2-part in scope)", mg.Preserved)
+			}
+		}
+	})
+	if !foundMGOJ {
+		t.Errorf("expected the paper's MGOJ node:\n%s", plan.Indent(node))
+	}
+}

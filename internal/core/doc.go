@@ -1,0 +1,27 @@
+// Package core implements the paper's primary contribution: the
+// deferred application of complex predicates through generalized
+// selection (Section 3), including
+//
+//   - the association identities (1)–(8) of Section 3.1, realised as
+//     the general Theorem 1 compensation: any conjunct subset of any
+//     join / outer join / full outer join predicate can be broken off
+//     and re-applied at the root with a generalized selection whose
+//     preserved-relation list is derived from the query hypergraph's
+//     preserved sets and conflict sets;
+//   - recursive splitting of multiple complex predicates (the Q5/Q6
+//     procedure at the end of Section 3);
+//   - a saturation-based enumeration engine that closes a query under
+//     the identity rules — commutativity, the outer-join
+//     associativities of [BHAR95a]/[GALI92a], and predicate
+//     break-up — generating the paper's widened plan space;
+//   - the group-by push-up of Example 3.1 / Section 4, which moves a
+//     generalized projection above a join and defers predicates on
+//     aggregated columns via generalized selection;
+//   - the unnesting of correlated join-aggregate queries
+//     ([GANS87]/[MURA92], Section 1.1) into outer-join + group-by
+//     form that the rest of the machinery can reorder.
+//
+// Every transformation in this package is an expression-level
+// equality and is verified against the reference executor on
+// randomized databases in the package tests.
+package core

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// TestExample31PushUp reproduces Example 3.1 (experiment E12): the
+// expression
+//
+//	π_{r1.x r2.x, c=count(r1)}(r1 →p12 r2) →(p13∧p23) r3
+//
+// where p13 references the generated column c, is rewritten to
+//
+//	σ*_{p13}[r1r2](π_{…+r3attrs, c=count(r1)}((r1 →p12 r2) →p23 r3))
+//
+// and both evaluate identically on randomized databases.
+func TestExample31PushUp(t *testing.T) {
+	cCol := schema.Attr("v", "c")
+	gp := plan.NewGroupBy(
+		[]schema.Attribute{schema.Attr("r1", "x"), schema.Attr("r2", "x")},
+		[]algebra.Aggregate{algebra.CountRel("r1", cCol)},
+		plan.NewJoin(plan.LeftJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2")),
+	)
+	p13 := expr.Cmp{Op: value.GE, L: expr.Column("r3", "y"), R: expr.Col{Attr: cCol}}
+	p23 := eqX("r2", "r3")
+	q := plan.NewJoin(plan.LeftJoin, expr.And(p13, p23), gp, plan.NewScan("r3"))
+
+	rng := rand.New(rand.NewSource(31))
+	db := randDB(rng, 5, 3, "r1", "r2", "r3")
+	rewritten, err := PushUpGroupBy(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, ok := rewritten.(*plan.GenSel)
+	if !ok {
+		t.Fatalf("expected generalized selection at the root, got %s", rewritten)
+	}
+	// The paper writes the preserved relation as r1r2; the generated
+	// column c (qualified "v" here) is part of that derived relation
+	// and rides along in the spec.
+	if len(gs.Preserved) != 1 || gs.Preserved[0].String() != "r1r2v" {
+		t.Errorf("preserved = %v, want [r1r2v] (Example 3.1's r1r2 plus its count column)", gs.Preserved)
+	}
+	if _, ok := gs.Input.(*plan.GroupBy); !ok {
+		t.Errorf("the generalized projection should now be at the top of the join tree:\n%s", plan.Indent(rewritten))
+	}
+	for trial := 0; trial < 40; trial++ {
+		db := randDB(rng, 5, 3, "r1", "r2", "r3")
+		mustEquivalent(t, q, rewritten, db, "Example 3.1 push-up")
+	}
+}
+
+// TestPushUpNullSupplying is the Example 1.1 shape: the aggregation
+// sits on the null-supplying side of the outer join and the join
+// predicate references the aggregated column (QTY < 2*95AGGQTY). The
+// pulled-up plan must reproduce the outer join's NULLs, not zero
+// counts (count-bug compensation).
+func TestPushUpNullSupplying(t *testing.T) {
+	aggCol := schema.Attr("v3", "agg")
+	gp := plan.NewGroupBy(
+		[]schema.Attribute{schema.Attr("r2", "x")},
+		[]algebra.Aggregate{{Func: algebra.CountStar, Out: aggCol}},
+		plan.NewScan("r2"),
+	)
+	pKey := eqX("r1", "r2")
+	pAgg := expr.Cmp{Op: value.LT, L: expr.Column("r1", "y"),
+		R: expr.Arith{Op: expr.Mul, L: expr.Int(2), R: expr.Col{Attr: aggCol}}}
+	q := plan.NewJoin(plan.LeftJoin, expr.And(pKey, pAgg), plan.NewScan("r1"), gp)
+
+	rng := rand.New(rand.NewSource(11))
+	db := randDB(rng, 5, 3, "r1", "r2")
+	rewritten, err := PushUpGroupBy(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, ok := rewritten.(*plan.GenSel)
+	if !ok {
+		t.Fatalf("expected generalized selection at the root, got %s", rewritten)
+	}
+	if len(gs.Preserved) != 1 || gs.Preserved[0].String() != "r1" {
+		t.Errorf("preserved = %v, want [r1] (the outer join's preserved side)", gs.Preserved)
+	}
+	for trial := 0; trial < 50; trial++ {
+		db := randDB(rng, 6, 3, "r1", "r2")
+		mustEquivalent(t, q, rewritten, db, "null-supplying push-up")
+	}
+}
+
+// TestPushUpInnerJoin checks the inner-join variant: deferred
+// predicates become a plain selection.
+func TestPushUpInnerJoin(t *testing.T) {
+	aggCol := schema.Attr("v", "c")
+	gp := plan.NewGroupBy(
+		[]schema.Attribute{schema.Attr("r2", "x")},
+		[]algebra.Aggregate{{Func: algebra.Count, Arg: expr.Column("r2", "y"), Out: aggCol}},
+		plan.NewScan("r2"),
+	)
+	pKey := eqX("r1", "r2")
+	pAgg := expr.Cmp{Op: value.NE, L: expr.Column("r1", "y"), R: expr.Col{Attr: aggCol}}
+	q := plan.NewJoin(plan.InnerJoin, expr.And(pKey, pAgg), plan.NewScan("r1"), gp)
+
+	rng := rand.New(rand.NewSource(13))
+	db := randDB(rng, 5, 3, "r1", "r2")
+	rewritten, err := PushUpGroupBy(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rewritten.(*plan.Select); !ok {
+		t.Fatalf("expected a plain selection at the root for the inner-join case, got %s", rewritten)
+	}
+	for trial := 0; trial < 50; trial++ {
+		db := randDB(rng, 6, 3, "r1", "r2")
+		mustEquivalent(t, q, rewritten, db, "inner-join push-up")
+	}
+}
+
+// TestPushUpRejects pins the precondition checks.
+func TestPushUpRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	db := randDB(rng, 3, 3, "r1", "r2")
+	// No GP operand.
+	j := plan.NewJoin(plan.InnerJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2"))
+	if _, err := PushUpGroupBy(j, db); err == nil {
+		t.Error("expected error without a generalized projection operand")
+	}
+	// Join predicate referencing a non-grouping column of the GP side.
+	gp := plan.NewGroupBy(
+		[]schema.Attribute{schema.Attr("r2", "x")},
+		[]algebra.Aggregate{{Func: algebra.CountStar, Out: schema.Attr("v", "c")}},
+		plan.NewScan("r2"),
+	)
+	bad := plan.NewJoin(plan.InnerJoin,
+		expr.Cmp{Op: value.EQ, L: expr.Column("r1", "x"), R: expr.Column("r2", "y")},
+		plan.NewScan("r1"), gp)
+	if _, err := PushUpGroupBy(bad, db); err == nil {
+		t.Error("expected error for predicate over a non-grouping column")
+	}
+	// Full outer join unsupported.
+	foj := plan.NewJoin(plan.FullJoin, eqX("r1", "r2"), plan.NewScan("r1"), gp)
+	if _, err := PushUpGroupBy(foj, db); err == nil {
+		t.Error("expected error for full outer join push-up")
+	}
+}
+
+// TestPushUpRule wraps PushUpGroupBy as a saturation rule.
+func TestPushUpRule(t *testing.T) {
+	aggCol := schema.Attr("v", "c")
+	gp := plan.NewGroupBy(
+		[]schema.Attribute{schema.Attr("r2", "x")},
+		[]algebra.Aggregate{{Func: algebra.Count, Arg: expr.Column("r2", "y"), Out: aggCol}},
+		plan.NewScan("r2"))
+	q := plan.NewJoin(plan.LeftJoin, eqX("r1", "r2"), plan.NewScan("r1"), gp)
+	rng := rand.New(rand.NewSource(91))
+	db := randDB(rng, 5, 3, "r1", "r2")
+	rule := PushUpRule(db)
+	alts := rule.Apply(q)
+	if len(alts) != 1 {
+		t.Fatalf("rule produced %d alternatives, want 1", len(alts))
+	}
+	mustEquivalent(t, q, alts[0], db, "push-up rule")
+	// Non-join nodes and ineligible joins produce nothing.
+	if got := rule.Apply(plan.NewScan("r1")); got != nil {
+		t.Error("rule must ignore scans")
+	}
+	plain := plan.NewJoin(plan.InnerJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2"))
+	if got := rule.Apply(plain); got != nil {
+		t.Error("rule must ignore joins without a GP operand")
+	}
+}
+
+// TestNonNullableRID pins the preserved-spine analysis used by
+// count(*) conversion.
+func TestNonNullableRID(t *testing.T) {
+	p := eqX("r1", "r2")
+	cases := []struct {
+		node plan.Node
+		rel  string
+		ok   bool
+	}{
+		{plan.NewScan("r1"), "r1", true},
+		{plan.NewJoin(plan.InnerJoin, p, plan.NewScan("r1"), plan.NewScan("r2")), "r1", true},
+		{plan.NewJoin(plan.LeftJoin, p, plan.NewScan("r1"), plan.NewScan("r2")), "r1", true},
+		{plan.NewJoin(plan.RightJoin, p, plan.NewScan("r1"), plan.NewScan("r2")), "r2", true},
+		{plan.NewSelect(p, plan.NewJoin(plan.LeftJoin, p, plan.NewScan("r1"), plan.NewScan("r2"))), "r1", true},
+		{plan.NewJoin(plan.FullJoin, p, plan.NewScan("r1"), plan.NewScan("r2")), "", false},
+	}
+	for _, c := range cases {
+		rid, ok := nonNullableRID(c.node)
+		if ok != c.ok {
+			t.Errorf("%s: ok = %v, want %v", c.node, ok, c.ok)
+			continue
+		}
+		if ok && rid.Rel != c.rel {
+			t.Errorf("%s: rid rel = %s, want %s", c.node, rid.Rel, c.rel)
+		}
+	}
+}

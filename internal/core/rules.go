@@ -1,0 +1,392 @@
+package core
+
+import (
+	"repro/internal/expr"
+	"repro/internal/plan"
+)
+
+// A Rule proposes equivalent alternatives for a single subtree. Rules
+// are expression-level identities: every alternative must evaluate to
+// the same relation as the input node on every database, so they may
+// be applied at any position of a plan.
+type Rule struct {
+	Name  string
+	Apply func(n plan.Node) []plan.Node
+}
+
+// refsOnly reports whether p references only relations under n.
+func refsOnly(p expr.Pred, n plan.Node) bool {
+	return expr.ReferencesOnly(p, plan.BaseRelSet(n))
+}
+
+// refsSome reports whether p references at least one relation under n.
+func refsSome(p expr.Pred, n plan.Node) bool {
+	return expr.References(p, plan.BaseRelSet(n))
+}
+
+// refsBoth reports whether p references relations on both sides.
+func refsBoth(p expr.Pred, a, b plan.Node) bool {
+	return refsSome(p, a) && refsSome(p, b)
+}
+
+// asJoin matches a join of one of the given kinds.
+func asJoin(n plan.Node, kinds ...plan.JoinKind) (*plan.Join, bool) {
+	j, ok := n.(*plan.Join)
+	if !ok {
+		return nil, false
+	}
+	for _, k := range kinds {
+		if j.Kind == k {
+			return j, true
+		}
+	}
+	return nil, false
+}
+
+// RuleCommute swaps the operands of commutative operators:
+// A ⋈p B = B ⋈p A and A ↔p B = B ↔p A; a one-sided outer join
+// commutes into its mirror: A →p B = B ←p A.
+var RuleCommute = Rule{
+	Name: "commute",
+	Apply: func(n plan.Node) []plan.Node {
+		j, ok := n.(*plan.Join)
+		if !ok {
+			return nil
+		}
+		switch j.Kind {
+		case plan.InnerJoin, plan.FullJoin:
+			return []plan.Node{plan.NewJoin(j.Kind, j.Pred, j.R, j.L)}
+		case plan.LeftJoin:
+			return []plan.Node{plan.NewJoin(plan.RightJoin, j.Pred, j.R, j.L)}
+		case plan.RightJoin:
+			return []plan.Node{plan.NewJoin(plan.LeftJoin, j.Pred, j.R, j.L)}
+		}
+		return nil
+	},
+}
+
+// RuleAssocInner is inner join associativity:
+// (A ⋈p B) ⋈q C = A ⋈p (B ⋈q C) when q references only B ∪ C (and
+// still both operands on each side), in both directions.
+var RuleAssocInner = Rule{
+	Name: "assoc-inner",
+	Apply: func(n plan.Node) []plan.Node {
+		var out []plan.Node
+		if top, ok := asJoin(n, plan.InnerJoin); ok {
+			if l, ok := asJoin(top.L, plan.InnerJoin); ok {
+				// (A ⋈p B) ⋈q C → A ⋈p (B ⋈q C)
+				if refsOnly(top.Pred, plan.NewJoin(plan.InnerJoin, expr.True{}, l.R, top.R)) &&
+					refsBoth(top.Pred, l.R, top.R) {
+					inner := plan.NewJoin(plan.InnerJoin, top.Pred, l.R, top.R)
+					if refsBoth(l.Pred, l.L, inner) {
+						out = append(out, plan.NewJoin(plan.InnerJoin, l.Pred, l.L, inner))
+					}
+				}
+			}
+			if r, ok := asJoin(top.R, plan.InnerJoin); ok {
+				// A ⋈p (B ⋈q C) → (A ⋈p B) ⋈q C when p ⊆ A∪B.
+				if refsOnly(top.Pred, join2(top.L, r.L)) && refsBoth(top.Pred, top.L, r.L) {
+					left := plan.NewJoin(plan.InnerJoin, top.Pred, top.L, r.L)
+					if refsBoth(r.Pred, left, r.R) {
+						out = append(out, plan.NewJoin(plan.InnerJoin, r.Pred, left, r.R))
+					}
+				}
+			}
+		}
+		return out
+	},
+}
+
+// join2 builds a throwaway node whose base-relation set is the union
+// of a and b, for predicate scoping checks.
+func join2(a, b plan.Node) plan.Node {
+	return plan.NewJoin(plan.InnerJoin, expr.True{}, a, b)
+}
+
+// RuleAssocLeft is one-sided outer join associativity
+// ([GALI92a]/[BHAR95a]; valid because predicates are null
+// in-tolerant):
+//
+//	(A →p B) →q C = A →p (B →q C)   when q references only B ∪ C
+//	                                 and references B
+//
+// in both directions (right-to-left requires p to reference only
+// A ∪ B).
+var RuleAssocLeft = Rule{
+	Name: "assoc-left",
+	Apply: func(n plan.Node) []plan.Node {
+		var out []plan.Node
+		if top, ok := asJoin(n, plan.LeftJoin); ok {
+			if l, ok := asJoin(top.L, plan.LeftJoin); ok {
+				// (A →p B) →q C with q ⊆ B∪C, q refs B → A →p (B →q C)
+				if refsOnly(top.Pred, join2(l.R, top.R)) && refsBoth(top.Pred, l.R, top.R) {
+					out = append(out, plan.NewJoin(plan.LeftJoin, l.Pred, l.L,
+						plan.NewJoin(plan.LeftJoin, top.Pred, l.R, top.R)))
+				}
+				// (A →p B) →q C with q ⊆ A∪C → (A →q C) →p B
+				if refsOnly(top.Pred, join2(l.L, top.R)) && refsBoth(top.Pred, l.L, top.R) {
+					out = append(out, plan.NewJoin(plan.LeftJoin, l.Pred,
+						plan.NewJoin(plan.LeftJoin, top.Pred, l.L, top.R), l.R))
+				}
+			}
+			if r, ok := asJoin(top.R, plan.LeftJoin); ok {
+				// A →p (B →q C) with p ⊆ A∪B → (A →p B) →q C
+				if refsOnly(top.Pred, join2(top.L, r.L)) && refsBoth(top.Pred, top.L, r.L) {
+					out = append(out, plan.NewJoin(plan.LeftJoin, r.Pred,
+						plan.NewJoin(plan.LeftJoin, top.Pred, top.L, r.L), r.R))
+				}
+			}
+		}
+		return out
+	},
+}
+
+// RuleJoinLOJ exchanges an inner join with a left outer join that
+// preserves a common side:
+//
+//	(A →p B) ⋈q C = (A ⋈q C) →p B   when q references only A ∪ C
+//
+// in both directions. The inner join filters only A tuples, which
+// commutes with padding unmatched A tuples on sch(B).
+var RuleJoinLOJ = Rule{
+	Name: "join-loj",
+	Apply: func(n plan.Node) []plan.Node {
+		var out []plan.Node
+		if top, ok := asJoin(n, plan.InnerJoin); ok {
+			if l, ok := asJoin(top.L, plan.LeftJoin); ok {
+				if refsOnly(top.Pred, join2(l.L, top.R)) && refsBoth(top.Pred, l.L, top.R) {
+					out = append(out, plan.NewJoin(plan.LeftJoin, l.Pred,
+						plan.NewJoin(plan.InnerJoin, top.Pred, l.L, top.R), l.R))
+				}
+			}
+		}
+		if top, ok := asJoin(n, plan.LeftJoin); ok {
+			if l, ok := asJoin(top.L, plan.InnerJoin); ok {
+				// (A ⋈q C) →p B → (A →p B) ⋈q C when p ⊆ A∪B.
+				if refsOnly(top.Pred, join2(l.L, top.R)) && refsBoth(top.Pred, l.L, top.R) {
+					out = append(out, plan.NewJoin(plan.InnerJoin, l.Pred,
+						plan.NewJoin(plan.LeftJoin, top.Pred, l.L, top.R), l.R))
+				}
+				// (A ⋈q C) →p B with p ⊆ C∪B → A ⋈q (C →p B).
+				if refsOnly(top.Pred, join2(l.R, top.R)) && refsBoth(top.Pred, l.R, top.R) {
+					out = append(out, plan.NewJoin(plan.InnerJoin, l.Pred, l.L,
+						plan.NewJoin(plan.LeftJoin, top.Pred, l.R, top.R)))
+				}
+			}
+		}
+		if top, ok := asJoin(n, plan.InnerJoin); ok {
+			if r, ok := asJoin(top.R, plan.LeftJoin); ok {
+				// A ⋈q (C →p B) = (A ⋈q C) →p B when q ⊆ A∪C.
+				if refsOnly(top.Pred, join2(top.L, r.L)) && refsBoth(top.Pred, top.L, r.L) {
+					out = append(out, plan.NewJoin(plan.LeftJoin, r.Pred,
+						plan.NewJoin(plan.InnerJoin, top.Pred, top.L, r.L), r.R))
+				}
+			}
+		}
+		return out
+	},
+}
+
+// RuleAssocFull is full outer join associativity
+//
+//	(A ↔p B) ↔q C = A ↔p (B ↔q C)
+//
+// valid when p references only A ∪ B, q references only B ∪ C, and
+// both reference B (null in-tolerance then guarantees padded tuples
+// never spuriously join) — [GALI92a].
+var RuleAssocFull = Rule{
+	Name: "assoc-full",
+	Apply: func(n plan.Node) []plan.Node {
+		var out []plan.Node
+		if top, ok := asJoin(n, plan.FullJoin); ok {
+			if l, ok := asJoin(top.L, plan.FullJoin); ok {
+				if refsOnly(top.Pred, join2(l.R, top.R)) && refsBoth(top.Pred, l.R, top.R) &&
+					refsOnly(l.Pred, join2(l.L, l.R)) {
+					out = append(out, plan.NewJoin(plan.FullJoin, l.Pred, l.L,
+						plan.NewJoin(plan.FullJoin, top.Pred, l.R, top.R)))
+				}
+			}
+			if r, ok := asJoin(top.R, plan.FullJoin); ok {
+				if refsOnly(top.Pred, join2(top.L, r.L)) && refsBoth(top.Pred, top.L, r.L) &&
+					refsOnly(r.Pred, join2(r.L, r.R)) {
+					out = append(out, plan.NewJoin(plan.FullJoin, r.Pred,
+						plan.NewJoin(plan.FullJoin, top.Pred, top.L, r.L), r.R))
+				}
+			}
+		}
+		return out
+	},
+}
+
+// RuleSelectPushdown moves selection conjuncts toward the relations
+// they reference: into the inner join's predicate when they span both
+// operands, below the operator when they reference only an operand
+// that the operator does not NULL-pad (either side of an inner join,
+// the preserved side of an outer join). Conjuncts over a
+// null-supplying side stay put — removing padded rows is
+// simplification's job, not pushdown's.
+var RuleSelectPushdown = Rule{
+	Name: "select-pushdown",
+	Apply: func(n plan.Node) []plan.Node {
+		sel, ok := n.(*plan.Select)
+		if !ok {
+			return nil
+		}
+		j, ok := sel.Input.(*plan.Join)
+		if !ok {
+			return nil
+		}
+		var toLeft, toRight, toJoin, stay []expr.Pred
+		for _, c := range expr.Conjuncts(sel.Pred) {
+			switch {
+			case refsOnly(c, j.L) && (j.Kind == plan.InnerJoin || j.Kind == plan.LeftJoin):
+				toLeft = append(toLeft, c)
+			case refsOnly(c, j.R) && (j.Kind == plan.InnerJoin || j.Kind == plan.RightJoin):
+				toRight = append(toRight, c)
+			case j.Kind == plan.InnerJoin && refsBoth(c, j.L, j.R):
+				toJoin = append(toJoin, c)
+			default:
+				stay = append(stay, c)
+			}
+		}
+		if len(toLeft)+len(toRight)+len(toJoin) == 0 {
+			return nil
+		}
+		l, r := j.L, j.R
+		if len(toLeft) > 0 {
+			l = plan.NewSelect(expr.And(toLeft...), l)
+		}
+		if len(toRight) > 0 {
+			r = plan.NewSelect(expr.And(toRight...), r)
+		}
+		pred := j.Pred
+		if len(toJoin) > 0 {
+			pred = expr.And(append([]expr.Pred{pred}, toJoin...)...)
+		}
+		var out plan.Node = plan.NewJoin(j.Kind, pred, l, r)
+		if len(stay) > 0 {
+			out = plan.NewSelect(expr.And(stay...), out)
+		}
+		return []plan.Node{out}
+	},
+}
+
+// RuleSelectMerge collapses stacked selections; canonical form for
+// the dedup key and a prerequisite for further pushdown.
+var RuleSelectMerge = Rule{
+	Name: "select-merge",
+	Apply: func(n plan.Node) []plan.Node {
+		outer, ok := n.(*plan.Select)
+		if !ok {
+			return nil
+		}
+		inner, ok := outer.Input.(*plan.Select)
+		if !ok {
+			return nil
+		}
+		return []plan.Node{plan.NewSelect(expr.And(outer.Pred, inner.Pred), inner.Input)}
+	},
+}
+
+// RuleMGOJIntro introduces the modified generalized outer join of
+// [BHAR95a], which the paper's Q4' reordering relies on: a one-sided
+// outer join over an inner join has no plain reassociation that keeps
+// the preserved side intact, but
+//
+//	A →p (B ⋈q C) = (A →p B) MGOJ_q[rels(A)] C   when p ⊆ A∪B
+//	A →p (B ⋈q C) = (A →p C) MGOJ_q[rels(A)] B   when p ⊆ A∪C
+//
+// — join the outer-join result with the remaining input while
+// re-preserving A's tuples that lose their match.
+var RuleMGOJIntro = Rule{
+	Name: "mgoj-intro",
+	Apply: func(n plan.Node) []plan.Node {
+		top, ok := asJoin(n, plan.LeftJoin)
+		if !ok {
+			return nil
+		}
+		inner, ok := asJoin(top.R, plan.InnerJoin)
+		if !ok {
+			return nil
+		}
+		specA := []plan.PreservedSpec{plan.NewPreserved(plan.BaseRels(top.L)...)}
+		var out []plan.Node
+		if refsOnly(top.Pred, join2(top.L, inner.L)) && refsBoth(top.Pred, top.L, inner.L) {
+			out = append(out, plan.NewMGOJ(inner.Pred, specA,
+				plan.NewJoin(plan.LeftJoin, top.Pred, top.L, inner.L), inner.R))
+		}
+		if refsOnly(top.Pred, join2(top.L, inner.R)) && refsBoth(top.Pred, top.L, inner.R) {
+			out = append(out, plan.NewMGOJ(inner.Pred, specA,
+				plan.NewJoin(plan.LeftJoin, top.Pred, top.L, inner.R), inner.L))
+		}
+		return out
+	},
+}
+
+// RuleSplit implements the paper's predicate break-up: for every
+// split option of a pure join subtree, defer one conjunct to a
+// compensating generalized selection per Theorem 1.
+var RuleSplit = Rule{
+	Name: "split",
+	Apply: func(n plan.Node) []plan.Node {
+		if _, ok := n.(*plan.Join); !ok {
+			return nil
+		}
+		if !pureJoinTree(n) {
+			return nil
+		}
+		var out []plan.Node
+		for _, opt := range SplitOptionsOf(n) {
+			alt, err := DeferConjuncts(n, opt.Target, []int{opt.Conjunct})
+			if err == nil {
+				out = append(out, alt)
+			}
+		}
+		return out
+	},
+}
+
+// pureJoinTree reports whether n consists solely of joins over scans.
+func pureJoinTree(n plan.Node) bool {
+	ok := true
+	plan.Walk(n, func(m plan.Node) {
+		switch m.(type) {
+		case *plan.Join, *plan.Scan:
+		default:
+			ok = false
+		}
+	})
+	return ok
+}
+
+// DefaultRules is the rule set the saturation engine uses: the
+// paper's break-up rules plus the [BHAR95a]/[GALI92a] reassociation
+// identities the paper builds on.
+func DefaultRules() []Rule {
+	return []Rule{
+		RuleSelectPushdown,
+		RuleSelectMerge,
+		RuleCommute,
+		RuleAssocInner,
+		RuleAssocLeft,
+		RuleJoinLOJ,
+		RuleAssocFull,
+		RuleMGOJIntro,
+		RuleSplit,
+	}
+}
+
+// BaselineRules is the rule set without predicate break-up — the
+// state of the art the paper improves on ([BHAR95a] without
+// generalized selection). Used by the baseline optimizer.
+func BaselineRules() []Rule {
+	return []Rule{
+		RuleSelectPushdown,
+		RuleSelectMerge,
+		RuleCommute,
+		RuleAssocInner,
+		RuleAssocLeft,
+		RuleJoinLOJ,
+		RuleAssocFull,
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/plan"
+)
+
+// SaturateOptions bound the saturation.
+type SaturateOptions struct {
+	// Rules to close under; DefaultRules() if nil.
+	Rules []Rule
+	// MaxPlans caps the equivalence class size (0 means 100000).
+	MaxPlans int
+}
+
+// Derivation records how a plan entered the closure: the canonical
+// string of its parent plan and the rule that produced it. The root
+// has no derivation.
+type Derivation struct {
+	Parent string
+	Rule   string
+}
+
+// Saturate computes the closure of root under the rule set: the set
+// of equivalent plans reachable by applying rules at any subtree
+// position, deduplicated by canonical plan string. The input plan is
+// always the first element. This is the paper's enumeration (Section
+// 4) realised as a transformation-based optimizer: every rule is an
+// identity, so every returned plan evaluates to the same relation as
+// root.
+func Saturate(root plan.Node, opts SaturateOptions) []plan.Node {
+	plans, _ := SaturateTraced(root, opts)
+	return plans
+}
+
+// SaturateTraced is Saturate plus a derivation map (keyed by plan
+// string) recording, for every plan except the root, which rule
+// produced it from which parent. Walking the map back to the root
+// yields the identity chain that justifies a plan — EXPLAIN-style
+// provenance for the paper's rewrites.
+func SaturateTraced(root plan.Node, opts SaturateOptions) ([]plan.Node, map[string]Derivation) {
+	rules := opts.Rules
+	if rules == nil {
+		rules = DefaultRules()
+	}
+	maxPlans := opts.MaxPlans
+	if maxPlans <= 0 {
+		maxPlans = 100000
+	}
+	rootKey := root.String()
+	seen := map[string]bool{rootKey: true}
+	trace := make(map[string]Derivation)
+	out := []plan.Node{root}
+	queue := []plan.Node{root}
+	for len(queue) > 0 && len(out) < maxPlans {
+		cur := queue[0]
+		curKey := cur.String()
+		queue = queue[1:]
+		for _, alt := range alternatives(cur, rules) {
+			key := alt.plan.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			trace[key] = Derivation{Parent: curKey, Rule: alt.rule}
+			out = append(out, alt.plan)
+			queue = append(queue, alt.plan)
+			if len(out) >= maxPlans {
+				break
+			}
+		}
+	}
+	return out, trace
+}
+
+// DerivationChain reconstructs the rule applications leading from the
+// root to the plan with the given canonical string, oldest first.
+func DerivationChain(trace map[string]Derivation, planKey string) []string {
+	var chain []string
+	for {
+		d, ok := trace[planKey]
+		if !ok {
+			break
+		}
+		chain = append(chain, d.Rule)
+		planKey = d.Parent
+	}
+	// Reverse to oldest-first.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+type altPlan struct {
+	plan plan.Node
+	rule string
+}
+
+// alternatives applies every rule at every subtree position of cur
+// and returns the resulting full plans with the producing rule.
+func alternatives(cur plan.Node, rules []Rule) []altPlan {
+	var out []altPlan
+	var paths [][]int
+	collectPaths(cur, nil, &paths)
+	for _, path := range paths {
+		sub := nodeAt(cur, path)
+		for _, r := range rules {
+			for _, alt := range r.Apply(sub) {
+				out = append(out, altPlan{plan: replaceAt(cur, path, alt), rule: r.Name})
+			}
+		}
+	}
+	return out
+}
+
+func collectPaths(n plan.Node, prefix []int, out *[][]int) {
+	*out = append(*out, append([]int(nil), prefix...))
+	for i, c := range n.Children() {
+		collectPaths(c, append(prefix, i), out)
+	}
+}
+
+func nodeAt(n plan.Node, path []int) plan.Node {
+	for _, i := range path {
+		n = n.Children()[i]
+	}
+	return n
+}
+
+func replaceAt(n plan.Node, path []int, sub plan.Node) plan.Node {
+	if len(path) == 0 {
+		return sub
+	}
+	ch := n.Children()
+	newCh := make([]plan.Node, len(ch))
+	copy(newCh, ch)
+	newCh[path[0]] = replaceAt(ch[path[0]], path[1:], sub)
+	return n.WithChildren(newCh)
+}
+
+// JoinOrders extracts the distinct association-tree shapes (orders in
+// which base relations are combined, ignoring operators and unary
+// nodes) of a set of plans, sorted lexicographically. It is used to
+// compare the plan space with and without predicate break-up.
+func JoinOrders(plans []plan.Node) []string {
+	set := make(map[string]bool)
+	var shape func(n plan.Node) string
+	shape = func(n plan.Node) string {
+		switch m := n.(type) {
+		case *plan.Scan:
+			return m.Rel
+		case *plan.Join:
+			l, r := shape(m.L), shape(m.R)
+			if l > r {
+				l, r = r, l
+			}
+			return "(" + l + "." + r + ")"
+		case *plan.MGOJNode:
+			l, r := shape(m.L), shape(m.R)
+			if l > r {
+				l, r = r, l
+			}
+			return "(" + l + "." + r + ")"
+		default:
+			ch := n.Children()
+			if len(ch) == 1 {
+				return shape(ch[0])
+			}
+			return n.String()
+		}
+	}
+	for _, p := range plans {
+		set[shape(p)] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/hypergraph"
+	"repro/internal/plan"
+	"repro/internal/simplify"
+)
+
+// CompensationSpecs computes, per Theorem 1, the preserved-relation
+// list of the generalized selection that compensates for breaking a
+// conjunct off hyperedge e of hypergraph h:
+//
+//   - full outer join edge: [pres_1(e), pres_2(e)] — both sides stay
+//     preserved (identities (2), (4));
+//   - one-sided outer join edge: pres_{e}(h_i) for every h_i in
+//     conf(e), plus pres(e) (identities (1), (3), (7));
+//   - inner join edge: pres_{e}(h_i) for every h_i in conf(e); an
+//     empty conflict set means a plain selection suffices
+//     (identities (5), (6), (8)).
+//
+// Note on identity (6): the paper prints the preserved list
+// [r1, r2r3], but the combined r2r3 spec re-preserves inner-join
+// tuples that the original query discards; the conflict-set
+// derivation used here yields [r1], which the randomized equivalence
+// tests confirm. See DESIGN.md.
+func CompensationSpecs(h *hypergraph.Hypergraph, e *hypergraph.Hyperedge) []plan.PreservedSpec {
+	var specs []plan.PreservedSpec
+	switch e.Kind {
+	case hypergraph.BiDirected:
+		specs = append(specs,
+			plan.NewPreserved(h.Pres(e)...),
+			plan.NewPreserved(h.Pres2(e)...))
+	case hypergraph.Directed:
+		for _, hi := range h.Conf(e) {
+			specs = append(specs, plan.NewPreserved(h.PresAway(hi, e)...))
+		}
+		specs = append(specs, plan.NewPreserved(h.Pres(e)...))
+	default: // Undirected
+		for _, hi := range h.Conf(e) {
+			specs = append(specs, plan.NewPreserved(h.PresAway(hi, e)...))
+		}
+	}
+	return dedupeSpecs(specs)
+}
+
+func dedupeSpecs(specs []plan.PreservedSpec) []plan.PreservedSpec {
+	seen := make(map[string]bool, len(specs))
+	out := specs[:0]
+	for _, s := range specs {
+		k := s.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// DeferConjuncts breaks the conjuncts of `target` (a join node inside
+// the pure join tree rooted at q) selected by deferIdx off its
+// predicate and re-applies them at the root of q with the Theorem 1
+// generalized selection. The remaining predicate must still reference
+// both operands of the target (otherwise the operator would
+// degenerate), and at least one conjunct must remain.
+//
+// The returned plan is equivalent to q; when the deferred predicate's
+// compensation needs no preservation (inner join edge with an empty
+// conflict set) a plain selection is produced instead of a
+// generalized selection.
+func DeferConjuncts(q plan.Node, target *plan.Join, deferIdx []int) (plan.Node, error) {
+	// Theorem 1 holds for *simple* queries (the paper's standing
+	// assumption, end of Section 1.1): an outer join whose padded
+	// rows a null-intolerant ancestor predicate rejects is redundant,
+	// and compensating around it would resurrect rows the original
+	// query discards. Require the input to be its own simplification.
+	if s := simplify.Simplify(q); s.String() != q.String() {
+		return nil, fmt.Errorf("core: query is not simple (outer joins are removable); run simplify.Simplify first")
+	}
+	h, err := hypergraph.FromPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	var edge *hypergraph.Hyperedge
+	for _, e := range h.Edges {
+		if e.Origin == target {
+			edge = e
+			break
+		}
+	}
+	if edge == nil {
+		return nil, fmt.Errorf("core: target join %s not found in plan %s", target, q)
+	}
+	// Soundness precondition (the paper's dependent-predicate rule,
+	// end of Section 3): breaking a conjunct off edge h is valid only
+	// if h separates the hypergraph — no other hyperedge may span
+	// h's preserved-side and null-supplying-side regions. When one
+	// does (as Q6's top predicate p12∧p14 spans the middle edge), the
+	// spanning predicate is dependent and must be broken first;
+	// deferring the inner conjunct directly would preserve
+	// combinations that exist only because the conjunct was dropped.
+	pside := h.Region(edge.From, edge)
+	nside := h.Region(edge.To, edge)
+	for r := range pside {
+		if nside[r] {
+			return nil, fmt.Errorf("core: edge %s does not separate the query (relation %s reachable from both sides); break the spanning (dependent) predicate first", edge, r)
+		}
+	}
+	conj := expr.Conjuncts(target.Pred)
+	if len(deferIdx) == 0 || len(deferIdx) >= len(conj) {
+		return nil, fmt.Errorf("core: must defer a non-empty proper subset of the %d conjuncts", len(conj))
+	}
+	deferSet := make(map[int]bool, len(deferIdx))
+	for _, i := range deferIdx {
+		if i < 0 || i >= len(conj) {
+			return nil, fmt.Errorf("core: conjunct index %d out of range [0,%d)", i, len(conj))
+		}
+		deferSet[i] = true
+	}
+	var deferred, remaining []expr.Pred
+	for i, c := range conj {
+		if deferSet[i] {
+			deferred = append(deferred, c)
+		} else {
+			remaining = append(remaining, c)
+		}
+	}
+	remPred := expr.And(remaining...)
+	// The remaining predicate must still reference both operands.
+	lRels, rRels := plan.BaseRelSet(target.L), plan.BaseRelSet(target.R)
+	if !expr.References(remPred, lRels) || !expr.References(remPred, rRels) {
+		return nil, fmt.Errorf("core: remaining predicate %s no longer references both operands", remPred)
+	}
+	specs := CompensationSpecs(h, edge)
+	defPred := expr.And(deferred...)
+
+	newQ := plan.Rewrite(q, func(n plan.Node) plan.Node {
+		if n == target {
+			return plan.NewJoin(target.Kind, remPred, target.L, target.R)
+		}
+		return nil
+	})
+	if len(specs) == 0 {
+		return plan.NewSelect(defPred, newQ), nil
+	}
+	return plan.NewGenSel(defPred, specs, newQ), nil
+}
+
+// SplitOptions lists every valid single-conjunct deferral of a pure
+// join tree: for each join node whose predicate has at least two
+// conjuncts, each conjunct whose removal keeps the operator
+// two-sided. The options drive both the saturation engine and the
+// recursive Q5/Q6 splitting procedure.
+type SplitOption struct {
+	Target   *plan.Join
+	Conjunct int
+}
+
+// SplitOptionsOf enumerates the split options of q.
+func SplitOptionsOf(q plan.Node) []SplitOption {
+	var opts []SplitOption
+	plan.Walk(q, func(n plan.Node) {
+		j, ok := n.(*plan.Join)
+		if !ok {
+			return
+		}
+		conj := expr.Conjuncts(j.Pred)
+		if len(conj) < 2 {
+			return
+		}
+		lRels, rRels := plan.BaseRelSet(j.L), plan.BaseRelSet(j.R)
+		for i := range conj {
+			var rest []expr.Pred
+			for k, c := range conj {
+				if k != i {
+					rest = append(rest, c)
+				}
+			}
+			rem := expr.And(rest...)
+			if expr.References(rem, lRels) && expr.References(rem, rRels) {
+				opts = append(opts, SplitOption{Target: j, Conjunct: i})
+			}
+		}
+	})
+	return opts
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// section11Query builds the Section 1.1 join-aggregate query
+//
+//	Select r1.a From r1
+//	Where r1.b θ1 (Select count(*) From r2
+//	               Where r2.c = r1.c and r2.d θ2 (Select count(*) From r3
+//	                                              Where r2.e = r3.e and r1.f = r3.f))
+//
+// over relations r1(a,b,c,f), r2(c,d,e), r3(e,f).
+func section11Query(op1, op2 value.CmpOp) *JoinAggregateQuery {
+	return &JoinAggregateQuery{
+		Rel:  "r1",
+		Proj: []schema.Attribute{schema.Attr("r1", "a")},
+		Filters: []CountFilter{{
+			LHS: expr.Column("r1", "b"),
+			Op:  op1,
+			Sub: &CountQuery{
+				Rel:  "r2",
+				Corr: expr.EqCols("r2", "c", "r1", "c"),
+				Filters: []CountFilter{{
+					LHS: expr.Column("r2", "d"),
+					Op:  op2,
+					Sub: &CountQuery{
+						Rel: "r3",
+						Corr: expr.And(
+							expr.EqCols("r2", "e", "r3", "e"),
+							expr.EqCols("r1", "f", "r3", "f"),
+						),
+					},
+				}},
+			},
+		}},
+	}
+}
+
+// joinAggDB builds random relations matching section11Query's shape.
+// Column values are small so correlations, zero counts and duplicate
+// counts all occur.
+func newBuilder(name string, cols []string) *relation.Builder {
+	return relation.NewBuilder(name, cols...)
+}
+
+func joinAggDB(rng *rand.Rand, maxRows int) plan.Database {
+	db := make(plan.Database)
+	build := func(name string, cols []string) {
+		b := newBuilder(name, cols)
+		n := rng.Intn(maxRows + 1)
+		for i := 0; i < n; i++ {
+			vals := make([]value.Value, len(cols))
+			for j := range cols {
+				if rng.Intn(10) == 0 {
+					vals[j] = value.Null
+				} else {
+					vals[j] = value.NewInt(int64(rng.Intn(3)))
+				}
+			}
+			b.Row(vals...)
+		}
+		db[name] = b.Relation()
+	}
+	build("r1", []string{"a", "b", "c", "f"})
+	build("r2", []string{"c", "d", "e"})
+	build("r3", []string{"e", "f"})
+	return db
+}
+
+// TestUnnestMatchesTIS is experiment E8's correctness half: the
+// unnested outer-join + group-by + generalized-selection plan
+// computes exactly what tuple iteration semantics computes, for every
+// comparison operator — including the count-bug cases where a
+// comparison succeeds against a zero count.
+func TestUnnestMatchesTIS(t *testing.T) {
+	ops := []value.CmpOp{value.EQ, value.NE, value.LT, value.LE, value.GT, value.GE}
+	rng := rand.New(rand.NewSource(87))
+	for _, op1 := range ops {
+		for _, op2 := range ops {
+			q := section11Query(op1, op2)
+			db := joinAggDB(rng, 6)
+			unnested, err := q.Unnest(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := q.TIS(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := unnested.Eval(db)
+			if err != nil {
+				t.Fatalf("θ1=%s θ2=%s: %v", op1, op2, err)
+			}
+			if !got.EqualAsMultisets(want) {
+				t.Errorf("θ1=%s θ2=%s: unnested plan differs from TIS\ngot:\n%s\nwant:\n%s\nplan:\n%s",
+					op1, op2, got, want, plan.Indent(unnested))
+			}
+		}
+	}
+}
+
+// TestUnnestCountBug pins the classic count bug directly: an outer
+// tuple with zero matches must survive a "= 0" comparison.
+func TestUnnestCountBug(t *testing.T) {
+	db := plan.Database{
+		"r1": newBuilder("r1", []string{"a", "b", "c", "f"}).
+			Row(value.NewInt(100), value.NewInt(0), value.NewInt(1), value.NewInt(1)).
+			Relation(),
+		"r2": newBuilder("r2", []string{"c", "d", "e"}).
+			Row(value.NewInt(9), value.NewInt(9), value.NewInt(9)). // matches nothing
+			Relation(),
+		"r3": newBuilder("r3", []string{"e", "f"}).Relation(),
+	}
+	q := section11Query(value.EQ, value.EQ) // r1.b = count(...) with b = 0
+	want, err := q.TIS(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() != 1 {
+		t.Fatalf("TIS should keep the zero-count tuple, got %d rows", want.Len())
+	}
+	unnested, err := q.Unnest(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := unnested.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualAsMultisets(want) {
+		t.Fatalf("count bug: unnested plan lost the zero-count tuple\ngot:\n%s\nplan:\n%s", got, plan.Indent(unnested))
+	}
+}
+
+// TestUnnestIntermediateCountBug exercises the middle level: r1 rows
+// all of whose r2 partners fail the inner θ2 filter must still be
+// counted with c2 = 0 — this is where the generalized selection's
+// preservation earns its keep.
+func TestUnnestIntermediateCountBug(t *testing.T) {
+	// r2 matches r1 on c, but its count of r3 (= 1) fails d = 0.
+	db := plan.Database{
+		"r1": newBuilder("r1", []string{"a", "b", "c", "f"}).
+			Row(value.NewInt(100), value.NewInt(0), value.NewInt(1), value.NewInt(1)).
+			Relation(),
+		"r2": newBuilder("r2", []string{"c", "d", "e"}).
+			Row(value.NewInt(1), value.NewInt(0), value.NewInt(5)).
+			Relation(),
+		"r3": newBuilder("r3", []string{"e", "f"}).
+			Row(value.NewInt(5), value.NewInt(1)).
+			Relation(),
+	}
+	// θ2 is d = count(r3): 0 = 1 fails, so r1's surviving-r2 count is
+	// 0; θ1 is b = count(r2): 0 = 0 holds → r1 survives.
+	q := section11Query(value.EQ, value.EQ)
+	want, err := q.TIS(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() != 1 {
+		t.Fatalf("TIS should keep r1 (all partners fail θ2), got %d rows", want.Len())
+	}
+	unnested, err := q.Unnest(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plan must contain a generalized selection preserving r1.
+	foundGS := false
+	plan.Walk(unnested, func(n plan.Node) {
+		if gs, ok := n.(*plan.GenSel); ok {
+			if len(gs.Preserved) == 1 && gs.Preserved[0].String() == "r1" {
+				foundGS = true
+			}
+		}
+	})
+	if !foundGS {
+		t.Errorf("unnested plan should contain σ*[r1]:\n%s", plan.Indent(unnested))
+	}
+	got, err := unnested.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualAsMultisets(want) {
+		t.Fatalf("intermediate count bug\ngot:\n%s\nwant:\n%s\nplan:\n%s", got, want, plan.Indent(unnested))
+	}
+}
+
+// TestUnnestSingleLevel checks the one-subquery form (Query 1's
+// simpler cousin).
+func TestUnnestSingleLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, op := range []value.CmpOp{value.EQ, value.GE, value.LT} {
+		q := &JoinAggregateQuery{
+			Rel:  "r1",
+			Proj: []schema.Attribute{schema.Attr("r1", "a")},
+			Filters: []CountFilter{{
+				LHS: expr.Column("r1", "b"),
+				Op:  op,
+				Sub: &CountQuery{Rel: "r2", Corr: expr.EqCols("r2", "c", "r1", "c")},
+			}},
+		}
+		for trial := 0; trial < 20; trial++ {
+			db := joinAggDB(rng, 5)
+			unnested, err := q.Unnest(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := q.TIS(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := unnested.Eval(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.EqualAsMultisets(want) {
+				t.Fatalf("op %s trial %d: mismatch\ngot:\n%s\nwant:\n%s", op, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestUnnestMultipleFilters exercises the generalized (non-chain)
+// unnesting: two independent correlated COUNT subqueries on the outer
+// block, and a block with two nested filters.
+func TestUnnestMultipleFilters(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	twoTop := &JoinAggregateQuery{
+		Rel:  "r1",
+		Proj: []schema.Attribute{schema.Attr("r1", "a")},
+		Filters: []CountFilter{
+			{
+				LHS: expr.Column("r1", "b"),
+				Op:  value.GE,
+				Sub: &CountQuery{Rel: "r2", Corr: expr.EqCols("r2", "c", "r1", "c")},
+			},
+			{
+				LHS: expr.Column("r1", "c"),
+				Op:  value.LE,
+				Sub: &CountQuery{Rel: "r3", Corr: expr.EqCols("r3", "f", "r1", "f")},
+			},
+		},
+	}
+	twoNested := &JoinAggregateQuery{
+		Rel:  "r1",
+		Proj: []schema.Attribute{schema.Attr("r1", "a")},
+		Filters: []CountFilter{{
+			LHS: expr.Column("r1", "b"),
+			Op:  value.GE,
+			Sub: &CountQuery{
+				Rel:  "r2",
+				Corr: expr.EqCols("r2", "c", "r1", "c"),
+				Filters: []CountFilter{
+					{
+						LHS: expr.Column("r2", "d"),
+						Op:  value.GE,
+						Sub: &CountQuery{Rel: "r3", Corr: expr.EqCols("r2", "e", "r3", "e")},
+					},
+					{
+						LHS: expr.Column("r2", "e"),
+						Op:  value.NE,
+						Sub: &CountQuery{Rel: "r4", Corr: expr.EqCols("r4", "g", "r2", "d")},
+					},
+				},
+			},
+		}},
+	}
+	for name, q := range map[string]*JoinAggregateQuery{"two-top": twoTop, "two-nested": twoNested} {
+		for trial := 0; trial < 30; trial++ {
+			db := joinAggDB(rng, 6)
+			db["r4"] = newBuilder("r4", []string{"g"}).
+				Row(value.NewInt(int64(rng.Intn(3)))).
+				Row(value.NewInt(int64(rng.Intn(3)))).
+				Relation()
+			unnested, err := q.Unnest(db)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			want, err := q.TIS(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := unnested.Eval(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.EqualAsMultisets(want) {
+				t.Fatalf("%s trial %d: mismatch\ngot:\n%s\nwant:\n%s\nplan:\n%s",
+					name, trial, got, want, plan.Indent(unnested))
+			}
+		}
+	}
+}
+
+// TestUnnestDepthThree: a four-relation chain of correlated counts.
+func TestUnnestDepthThree(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	q := &JoinAggregateQuery{
+		Rel:  "r1",
+		Proj: []schema.Attribute{schema.Attr("r1", "a")},
+		Filters: []CountFilter{{
+			LHS: expr.Column("r1", "b"),
+			Op:  value.GE,
+			Sub: &CountQuery{
+				Rel:  "r2",
+				Corr: expr.EqCols("r2", "c", "r1", "c"),
+				Filters: []CountFilter{{
+					LHS: expr.Column("r2", "d"),
+					Op:  value.GE,
+					Sub: &CountQuery{
+						Rel:  "r3",
+						Corr: expr.EqCols("r2", "e", "r3", "e"),
+						Filters: []CountFilter{{
+							LHS: expr.Column("r3", "f"),
+							Op:  value.LE,
+							Sub: &CountQuery{Rel: "r4", Corr: expr.EqCols("r4", "g", "r3", "e")},
+						}},
+					},
+				}},
+			},
+		}},
+	}
+	for trial := 0; trial < 25; trial++ {
+		db := joinAggDB(rng, 5)
+		db["r4"] = newBuilder("r4", []string{"g"}).
+			Row(value.NewInt(int64(rng.Intn(3)))).
+			Row(value.NewInt(int64(rng.Intn(3)))).
+			Relation()
+		unnested, err := q.Unnest(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := q.TIS(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := unnested.Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualAsMultisets(want) {
+			t.Fatalf("trial %d: depth-3 mismatch\ngot:\n%s\nwant:\n%s", trial, got, want)
+		}
+	}
+}

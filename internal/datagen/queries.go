@@ -1,0 +1,66 @@
+package datagen
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// V3Count is the generated column of view V3 (the paper's 95AGGQTY).
+var V3Count = schema.Attr("v3", "aggqty95")
+
+// SupplierV2 builds view V2 of Example 1.1: the BANKRUPT suppliers'
+// 1994 aggregate rows,
+//
+//	Select a.supkey, a.qty, a.partkey
+//	From agg94 a, sup_detail b
+//	Where a.supkey = b.supkey and b.suprating = 'BANKRUPT'
+func SupplierV2() plan.Node {
+	bankrupt := expr.Cmp{
+		Op: value.EQ,
+		L:  expr.Column("sup_detail", "suprating"),
+		R:  expr.Str("BANKRUPT"),
+	}
+	return plan.NewJoin(plan.InnerJoin,
+		expr.EqCols("agg94", "supkey", "sup_detail", "supkey"),
+		plan.NewScan("agg94"),
+		plan.NewSelect(bankrupt, plan.NewScan("sup_detail")))
+}
+
+// SupplierV3 builds view V3: the 1995 per-(supplier, part) transaction
+// counts,
+//
+//	Select supkey, partkey, 95AGGQTY = COUNT(*)
+//	From detail95 Groupby supkey, partkey
+func SupplierV3() plan.Node {
+	return plan.NewGroupBy(
+		[]schema.Attribute{
+			schema.Attr("detail95", "supkey"),
+			schema.Attr("detail95", "partkey"),
+		},
+		[]algebra.Aggregate{{Func: algebra.CountStar, Out: V3Count}},
+		plan.NewScan("detail95"))
+}
+
+// SupplierQuery builds the Example 1.1 query as written:
+//
+//	Select … From V2 LeftOuterJoin V3
+//	On (V2.supkey = V3.supkey and V2.partkey = V3.partkey
+//	    and V2.qty < 2 * V3.95AGGQTY)
+//
+// Note the outer join predicate referencing the aggregated column —
+// the case the paper's machinery exists for.
+func SupplierQuery() plan.Node {
+	on := expr.And(
+		expr.EqCols("agg94", "supkey", "detail95", "supkey"),
+		expr.EqCols("agg94", "partkey", "detail95", "partkey"),
+		expr.Cmp{
+			Op: value.LT,
+			L:  expr.Column("agg94", "qty"),
+			R:  expr.Arith{Op: expr.Mul, L: expr.Int(2), R: expr.Col{Attr: V3Count}},
+		},
+	)
+	return plan.NewJoin(plan.LeftJoin, on, SupplierV2(), SupplierV3())
+}

@@ -1,0 +1,434 @@
+package executor
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Iterator is the Volcano-style pull interface: Open prepares the
+// operator (building hash tables, running blocking children), Next
+// yields one tuple at a time, Close releases state. Schema is valid
+// after Open.
+type Iterator interface {
+	Open() error
+	Next() (relation.Tuple, bool, error)
+	Close() error
+	Schema() *schema.Schema
+}
+
+// Compile translates a logical plan into an iterator tree over db.
+// Selections, projections and the probe side of hash joins stream
+// tuple-at-a-time; grouping, generalized selection and MGOJ are
+// blocking (they must see their whole input), matching their
+// set-level definitions.
+func Compile(n plan.Node, db plan.Database) (Iterator, error) {
+	switch m := n.(type) {
+	case *plan.Scan:
+		rel, err := m.Eval(db)
+		if err != nil {
+			return nil, err
+		}
+		return &scanIter{rel: rel}, nil
+	case *plan.Select:
+		in, err := Compile(m.Input, db)
+		if err != nil {
+			return nil, err
+		}
+		return &selectIter{in: in, pred: m.Pred}, nil
+	case *plan.Project:
+		in, err := Compile(m.Input, db)
+		if err != nil {
+			return nil, err
+		}
+		return &projectIter{in: in, attrs: m.Attrs, distinct: m.Distinct}, nil
+	case *plan.Join:
+		l, err := Compile(m.L, db)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Compile(m.R, db)
+		if err != nil {
+			return nil, err
+		}
+		return &joinIter{kind: m.Kind, pred: m.Pred, left: l, right: r}, nil
+	case *plan.GroupBy, *plan.GenSel, *plan.MGOJNode:
+		// Blocking operators: evaluate via the materializing executor
+		// over their (compiled) inputs.
+		return &blockingIter{node: n, db: db}, nil
+	default:
+		return nil, fmt.Errorf("executor: cannot compile %T", n)
+	}
+}
+
+// RunStreaming executes a plan through the iterator tree and
+// materializes the result (primarily for tests and benchmarks; real
+// consumers would pull).
+func RunStreaming(n plan.Node, db plan.Database) (*relation.Relation, error) {
+	it, err := Compile(n, db)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	out := relation.New(it.Schema())
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.Append(t)
+	}
+}
+
+// --- scan ------------------------------------------------------------
+
+type scanIter struct {
+	rel *relation.Relation
+	pos int
+}
+
+func (s *scanIter) Open() error { s.pos = 0; return nil }
+
+func (s *scanIter) Next() (relation.Tuple, bool, error) {
+	if s.pos >= s.rel.Len() {
+		return nil, false, nil
+	}
+	t := s.rel.Tuple(s.pos)
+	s.pos++
+	return t, true, nil
+}
+
+func (s *scanIter) Close() error           { return nil }
+func (s *scanIter) Schema() *schema.Schema { return s.rel.Schema() }
+
+// --- select ----------------------------------------------------------
+
+type selectIter struct {
+	in   Iterator
+	pred expr.Pred
+}
+
+func (s *selectIter) Open() error { return s.in.Open() }
+
+func (s *selectIter) Next() (relation.Tuple, bool, error) {
+	for {
+		t, ok, err := s.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if s.pred.Eval(expr.TupleEnv{Schema: s.in.Schema(), Tuple: t}).Holds() {
+			return t, true, nil
+		}
+	}
+}
+
+func (s *selectIter) Close() error           { return s.in.Close() }
+func (s *selectIter) Schema() *schema.Schema { return s.in.Schema() }
+
+// --- project ---------------------------------------------------------
+
+type projectIter struct {
+	in       Iterator
+	attrs    []schema.Attribute
+	distinct bool
+	idx      []int
+	seen     map[string]bool
+	out      *schema.Schema
+}
+
+func (p *projectIter) Open() error {
+	if err := p.in.Open(); err != nil {
+		return err
+	}
+	p.out = schema.New(p.attrs...)
+	p.idx = make([]int, len(p.attrs))
+	for i, a := range p.attrs {
+		p.idx[i] = p.in.Schema().IndexOf(a)
+		if p.idx[i] < 0 {
+			return fmt.Errorf("executor: projection attribute %s missing from %s", a, p.in.Schema())
+		}
+	}
+	if p.distinct {
+		p.seen = make(map[string]bool)
+	}
+	return nil
+}
+
+func (p *projectIter) Next() (relation.Tuple, bool, error) {
+	for {
+		t, ok, err := p.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		row := make(relation.Tuple, len(p.idx))
+		for i, j := range p.idx {
+			row[i] = t[j]
+		}
+		if p.distinct {
+			k := row.Key()
+			if p.seen[k] {
+				continue
+			}
+			p.seen[k] = true
+		}
+		return row, true, nil
+	}
+}
+
+func (p *projectIter) Close() error           { p.seen = nil; return p.in.Close() }
+func (p *projectIter) Schema() *schema.Schema { return p.out }
+
+// --- join ------------------------------------------------------------
+
+// joinIter is a hash join (falling back to block nested loops for
+// non-equi predicates): the right input is built into a hash table on
+// Open, the left input streams through Next. Right/full outer
+// padding is emitted after the probe side drains.
+type joinIter struct {
+	kind  plan.JoinKind
+	pred  expr.Pred
+	left  Iterator
+	right Iterator
+
+	out      *schema.Schema
+	keysL    []int
+	keysR    []int
+	residual expr.Pred
+	build    map[string][]int
+	rightRel *relation.Relation
+	matched  []bool
+
+	cur        relation.Tuple // current left tuple
+	curMatches []int          // candidate right indices
+	curPos     int
+	curMatched bool
+	phase      int // 0 probing, 1 right-unmatched sweep
+	sweepPos   int
+	nl, nr     int
+}
+
+func (j *joinIter) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	ls, rs := j.left.Schema(), j.right.Schema()
+	j.out = ls.Concat(rs)
+	j.nl, j.nr = ls.Len(), rs.Len()
+	keys, residual := splitEqui(j.pred, ls, rs)
+	j.residual = residual
+	j.keysL = j.keysL[:0]
+	j.keysR = j.keysR[:0]
+	for _, k := range keys {
+		j.keysL = append(j.keysL, k.li)
+		j.keysR = append(j.keysR, k.ri)
+	}
+	if len(keys) == 0 {
+		j.residual = j.pred
+	}
+	// Materialize and index the right input.
+	j.rightRel = relation.New(rs)
+	for {
+		t, ok, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		j.rightRel.Append(t)
+	}
+	j.build = make(map[string][]int, j.rightRel.Len())
+	if len(keys) > 0 {
+		for i, t := range j.rightRel.Tuples() {
+			if k, ok := hashKey(t, j.keysR); ok {
+				j.build[k] = append(j.build[k], i)
+			}
+		}
+	}
+	j.matched = make([]bool, j.rightRel.Len())
+	j.cur = nil
+	j.phase = 0
+	j.sweepPos = 0
+	return nil
+}
+
+func (j *joinIter) Next() (relation.Tuple, bool, error) {
+	for {
+		switch j.phase {
+		case 0:
+			if j.cur == nil {
+				t, ok, err := j.left.Next()
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					// Probe side drained; maybe sweep the right side.
+					if j.kind == plan.RightJoin || j.kind == plan.FullJoin {
+						j.phase = 1
+						continue
+					}
+					return nil, false, nil
+				}
+				j.cur = t
+				j.curPos = 0
+				j.curMatched = false
+				if len(j.keysL) > 0 {
+					if k, ok := hashKey(t, j.keysL); ok {
+						j.curMatches = j.build[k]
+					} else {
+						j.curMatches = nil
+					}
+				} else {
+					j.curMatches = allIndices(j.rightRel.Len())
+				}
+			}
+			for j.curPos < len(j.curMatches) {
+				ri := j.curMatches[j.curPos]
+				j.curPos++
+				row := make(relation.Tuple, j.nl+j.nr)
+				copy(row, j.cur)
+				copy(row[j.nl:], j.rightRel.Tuple(ri))
+				if j.residual.Eval(expr.TupleEnv{Schema: j.out, Tuple: row}).Holds() {
+					j.curMatched = true
+					j.matched[ri] = true
+					return row, true, nil
+				}
+			}
+			// Exhausted candidates for the current left tuple.
+			t := j.cur
+			matched := j.curMatched
+			j.cur = nil
+			if !matched && (j.kind == plan.LeftJoin || j.kind == plan.FullJoin) {
+				row := make(relation.Tuple, j.nl+j.nr)
+				copy(row, t)
+				for i := j.nl; i < j.nl+j.nr; i++ {
+					row[i] = value.Null
+				}
+				return row, true, nil
+			}
+		case 1:
+			for j.sweepPos < j.rightRel.Len() {
+				i := j.sweepPos
+				j.sweepPos++
+				if j.matched[i] {
+					continue
+				}
+				row := make(relation.Tuple, j.nl+j.nr)
+				for k := 0; k < j.nl; k++ {
+					row[k] = value.Null
+				}
+				copy(row[j.nl:], j.rightRel.Tuple(i))
+				return row, true, nil
+			}
+			return nil, false, nil
+		}
+	}
+}
+
+func (j *joinIter) Close() error {
+	j.build = nil
+	j.rightRel = nil
+	err1 := j.left.Close()
+	err2 := j.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (j *joinIter) Schema() *schema.Schema { return j.out }
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// --- blocking fallback ------------------------------------------------
+
+// blockingIter evaluates grouping, generalized selection and MGOJ by
+// compiling and draining their inputs, then applying the set-level
+// operator, and streaming the materialized result.
+type blockingIter struct {
+	node plan.Node
+	db   plan.Database
+	rel  *relation.Relation
+	pos  int
+}
+
+func (b *blockingIter) Open() error {
+	switch m := b.node.(type) {
+	case *plan.GroupBy:
+		in, err := RunStreaming(m.Input, b.db)
+		if err != nil {
+			return err
+		}
+		b.rel = algebra.GroupProject(m.Keys, m.Aggs, in)
+	case *plan.GenSel:
+		in, err := RunStreaming(m.Input, b.db)
+		if err != nil {
+			return err
+		}
+		specs := make([]map[string]bool, len(m.Preserved))
+		for i, s := range m.Preserved {
+			specs[i] = s.Set()
+		}
+		out, err := algebra.GenSelect(m.Pred, specs, in)
+		if err != nil {
+			return err
+		}
+		b.rel = out
+	case *plan.MGOJNode:
+		l, err := RunStreaming(m.L, b.db)
+		if err != nil {
+			return err
+		}
+		r, err := RunStreaming(m.R, b.db)
+		if err != nil {
+			return err
+		}
+		out, err := mgojExec(m, l, r)
+		if err != nil {
+			return err
+		}
+		b.rel = out
+	default:
+		return fmt.Errorf("executor: blockingIter over %T", b.node)
+	}
+	b.pos = 0
+	return nil
+}
+
+func (b *blockingIter) Next() (relation.Tuple, bool, error) {
+	if b.rel == nil || b.pos >= b.rel.Len() {
+		return nil, false, nil
+	}
+	t := b.rel.Tuple(b.pos)
+	b.pos++
+	return t, true, nil
+}
+
+func (b *blockingIter) Close() error { b.rel = nil; return nil }
+
+func (b *blockingIter) Schema() *schema.Schema {
+	if b.rel != nil {
+		return b.rel.Schema()
+	}
+	return nil
+}

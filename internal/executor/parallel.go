@@ -1,0 +1,226 @@
+package executor
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// RunParallel executes a plan like Run, but partitions hash-join
+// probes across workers goroutines (0 = GOMAXPROCS). Join output
+// order differs from Run's; results are equal as sets/multisets,
+// which is the relational contract.
+func RunParallel(n plan.Node, db plan.Database, workers int) (*relation.Relation, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	switch m := n.(type) {
+	case *plan.Join:
+		l, err := RunParallel(m.L, db, workers)
+		if err != nil {
+			return nil, err
+		}
+		r, err := RunParallel(m.R, db, workers)
+		if err != nil {
+			return nil, err
+		}
+		return parallelJoin(m.Kind, m.Pred, l, r, workers)
+	case *plan.Select:
+		in, err := RunParallel(m.Input, db, workers)
+		if err != nil {
+			return nil, err
+		}
+		return parallelSelect(m.Pred, in, workers), nil
+	default:
+		// Unary set-level operators and scans: evaluate children in
+		// this mode, then apply the operator sequentially.
+		ch := n.Children()
+		if len(ch) == 0 {
+			return Run(n, db)
+		}
+		newCh := make([]plan.Node, len(ch))
+		for i, c := range ch {
+			out, err := RunParallel(c, db, workers)
+			if err != nil {
+				return nil, err
+			}
+			newCh[i] = &materialized{rel: out}
+		}
+		return Run(n.WithChildren(newCh), db)
+	}
+}
+
+// materialized injects an already-computed relation into a plan tree.
+type materialized struct{ rel *relation.Relation }
+
+func (m *materialized) Children() []plan.Node { return nil }
+func (m *materialized) WithChildren(ch []plan.Node) plan.Node {
+	if len(ch) != 0 {
+		panic("executor: materialized has no children")
+	}
+	return m
+}
+func (m *materialized) Schema(plan.Database) (*schema.Schema, error) {
+	return m.rel.Schema(), nil
+}
+func (m *materialized) Eval(plan.Database) (*relation.Relation, error) {
+	return m.rel, nil
+}
+func (m *materialized) String() string { return "materialized" }
+
+// parallelSelect filters chunks of the input concurrently.
+func parallelSelect(p expr.Pred, in *relation.Relation, workers int) *relation.Relation {
+	n := in.Len()
+	if n < 2*workers {
+		return seqSelect(p, in)
+	}
+	chunk := (n + workers - 1) / workers
+	outs := make([][]relation.Tuple, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			env := expr.TupleEnv{Schema: in.Schema()}
+			var keep []relation.Tuple
+			for i := lo; i < hi; i++ {
+				t := in.Tuple(i)
+				env.Tuple = t
+				if p.Eval(env).Holds() {
+					keep = append(keep, t)
+				}
+			}
+			outs[w] = keep
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := relation.New(in.Schema())
+	for _, part := range outs {
+		for _, t := range part {
+			out.Append(t)
+		}
+	}
+	return out
+}
+
+func seqSelect(p expr.Pred, in *relation.Relation) *relation.Relation {
+	out := relation.New(in.Schema())
+	env := expr.TupleEnv{Schema: in.Schema()}
+	for _, t := range in.Tuples() {
+		env.Tuple = t
+		if p.Eval(env).Holds() {
+			out.Append(t)
+		}
+	}
+	return out
+}
+
+// parallelJoin partitions the probe (left) side across workers; each
+// worker tracks its own right-side match bitmap, merged before the
+// unmatched-right sweep.
+func parallelJoin(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, workers int) (*relation.Relation, error) {
+	ls, rs := l.Schema(), r.Schema()
+	keys, residual := splitEqui(pred, ls, rs)
+	if len(keys) == 0 || l.Len() < 4*workers {
+		return JoinExec(kind, pred, l, r)
+	}
+	li := make([]int, len(keys))
+	ri := make([]int, len(keys))
+	for i, k := range keys {
+		li[i], ri[i] = k.li, k.ri
+	}
+	build := make(map[string][]int, r.Len())
+	for j, t := range r.Tuples() {
+		if k, ok := hashKey(t, ri); ok {
+			build[k] = append(build[k], j)
+		}
+	}
+	outSchema := ls.Concat(rs)
+	nl, nr := ls.Len(), rs.Len()
+	n := l.Len()
+	chunk := (n + workers - 1) / workers
+	outs := make([][]relation.Tuple, workers)
+	matched := make([][]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			env := expr.TupleEnv{Schema: outSchema}
+			my := make([]bool, r.Len())
+			var rows []relation.Tuple
+			scratch := make(relation.Tuple, nl+nr)
+			for i := lo; i < hi; i++ {
+				lt := l.Tuple(i)
+				found := false
+				if k, ok := hashKey(lt, li); ok {
+					for _, j := range build[k] {
+						copy(scratch, lt)
+						copy(scratch[nl:], r.Tuple(j))
+						env.Tuple = scratch
+						if residual.Eval(env).Holds() {
+							found = true
+							my[j] = true
+							row := make(relation.Tuple, nl+nr)
+							copy(row, scratch)
+							rows = append(rows, row)
+						}
+					}
+				}
+				if !found && (kind == plan.LeftJoin || kind == plan.FullJoin) {
+					row := make(relation.Tuple, nl+nr)
+					copy(row, lt)
+					for x := nl; x < nl+nr; x++ {
+						row[x] = value.Null
+					}
+					rows = append(rows, row)
+				}
+			}
+			outs[w] = rows
+			matched[w] = my
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := relation.New(outSchema)
+	for _, part := range outs {
+		for _, t := range part {
+			out.Append(t)
+		}
+	}
+	if kind == plan.RightJoin || kind == plan.FullJoin {
+		for j := 0; j < r.Len(); j++ {
+			hit := false
+			for w := range matched {
+				if matched[w] != nil && matched[w][j] {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				continue
+			}
+			row := make(relation.Tuple, nl+nr)
+			for x := 0; x < nl; x++ {
+				row[x] = value.Null
+			}
+			copy(row[nl:], r.Tuple(j))
+			out.Append(row)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// TestAllExperimentsRun smoke-tests every experiment report; each
+// must produce non-trivial output and no embedded error text.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range All {
+		if testing.Short() && (id == "e7" || id == "e8" || id == "e13" || id == "e14") {
+			continue
+		}
+		out, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(out) < 80 {
+			t.Errorf("%s: suspiciously short output:\n%s", id, out)
+		}
+		if strings.Contains(out, "bug") && !strings.Contains(out, "count bug") {
+			t.Errorf("%s: report contains a failure marker:\n%s", id, out)
+		}
+	}
+	if _, err := Run("nosuch"); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+// TestE4AllIdentitiesHold pins that the E4 report shows zero failures.
+func TestE4AllIdentitiesHold(t *testing.T) {
+	out := E4()
+	if strings.Contains(out, " 199/200") || !strings.Contains(out, "200/200") {
+		t.Errorf("identity failures reported:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "trials equal") && !strings.Contains(line, "200/200") {
+			t.Errorf("identity line with failures: %s", line)
+		}
+	}
+}
+
+// TestE11NoFailures pins zero subsumption failures.
+func TestE11NoFailures(t *testing.T) {
+	out := E11()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "failures") && !strings.Contains(line, " 0 failures") {
+			t.Errorf("subsumption failures: %s", line)
+		}
+	}
+}
+
+// TestE14OptimizerFindsJoinFirst pins the Query 1 headline: with a
+// highly filtering r4, the chosen plan joins r4 below the
+// aggregation, and it is equivalent to the query as written.
+func TestE14OptimizerFindsJoinFirst(t *testing.T) {
+	q := Query1()
+	db := Query1DB(2)
+	est := stats.NewEstimator(stats.FromDatabase(db))
+	res, err := optimizer.New(est).Optimize(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Cost >= res.Original.Cost {
+		t.Errorf("expected a strict win: best %.0f vs original %.0f", res.Best.Cost, res.Original.Cost)
+	}
+	// The winning plan's aggregation must sit above the r4 join.
+	found := false
+	plan.Walk(res.Best.Plan, func(n plan.Node) {
+		if gb, ok := n.(*plan.GroupBy); ok {
+			rels := plan.BaseRelSet(gb.Input)
+			if rels["r4"] {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Errorf("chosen plan does not aggregate after the r4 join:\n%s", plan.Indent(res.Best.Plan))
+	}
+	ok, err := plan.Equivalent(q, res.Best.Plan, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("chosen plan not equivalent")
+	}
+}

@@ -1,0 +1,243 @@
+package expr
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// The JSON encoding of expressions is a small tagged-union format
+// used by plan serialization (plan caching, EXPLAIN tooling):
+//
+//	{"kind":"col","rel":"r1","col":"x","virtual":false}
+//	{"kind":"const","type":"INT","value":"42"}
+//	{"kind":"arith","op":"*","l":…,"r":…}
+//	{"kind":"cmp","op":"<=","l":…,"r":…}
+//	{"kind":"and","preds":[…]}  {"kind":"or","preds":[…]}
+//	{"kind":"not","pred":…}     {"kind":"true"}
+
+type jsonExpr struct {
+	Kind    string            `json:"kind"`
+	Rel     string            `json:"rel,omitempty"`
+	Col     string            `json:"col,omitempty"`
+	Virtual bool              `json:"virtual,omitempty"`
+	Type    string            `json:"type,omitempty"`
+	Value   string            `json:"value,omitempty"`
+	Op      string            `json:"op,omitempty"`
+	L       json.RawMessage   `json:"l,omitempty"`
+	R       json.RawMessage   `json:"r,omitempty"`
+	Pred    json.RawMessage   `json:"pred,omitempty"`
+	Preds   []json.RawMessage `json:"preds,omitempty"`
+}
+
+// EncodeScalar serializes a scalar expression.
+func EncodeScalar(s Scalar) ([]byte, error) {
+	switch x := s.(type) {
+	case Col:
+		return json.Marshal(jsonExpr{Kind: "col", Rel: x.Attr.Rel, Col: x.Attr.Col, Virtual: x.Attr.Virtual})
+	case Const:
+		return json.Marshal(jsonExpr{Kind: "const", Type: x.Val.Kind().String(), Value: x.Val.String()})
+	case Arith:
+		l, err := EncodeScalar(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := EncodeScalar(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(jsonExpr{Kind: "arith", Op: x.Op.String(), L: l, R: r})
+	default:
+		return nil, fmt.Errorf("expr: cannot encode scalar %T", s)
+	}
+}
+
+// DecodeScalar deserializes a scalar expression.
+func DecodeScalar(data []byte) (Scalar, error) {
+	var j jsonExpr
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, err
+	}
+	switch j.Kind {
+	case "col":
+		return Col{Attr: schema.Attribute{Rel: j.Rel, Col: j.Col, Virtual: j.Virtual}}, nil
+	case "const":
+		v, err := decodeValue(j.Type, j.Value)
+		if err != nil {
+			return nil, err
+		}
+		return Const{Val: v}, nil
+	case "arith":
+		op, err := arithOpOf(j.Op)
+		if err != nil {
+			return nil, err
+		}
+		l, err := DecodeScalar(j.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := DecodeScalar(j.R)
+		if err != nil {
+			return nil, err
+		}
+		return Arith{Op: op, L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("expr: unknown scalar kind %q", j.Kind)
+	}
+}
+
+// EncodePred serializes a predicate.
+func EncodePred(p Pred) ([]byte, error) {
+	switch x := p.(type) {
+	case True:
+		return json.Marshal(jsonExpr{Kind: "true"})
+	case Cmp:
+		l, err := EncodeScalar(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := EncodeScalar(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(jsonExpr{Kind: "cmp", Op: x.Op.String(), L: l, R: r})
+	case Conj:
+		parts, err := encodePreds(x.Preds)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(jsonExpr{Kind: "and", Preds: parts})
+	case Disj:
+		parts, err := encodePreds(x.Preds)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(jsonExpr{Kind: "or", Preds: parts})
+	case Not:
+		inner, err := EncodePred(x.P)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(jsonExpr{Kind: "not", Pred: inner})
+	default:
+		return nil, fmt.Errorf("expr: cannot encode predicate %T", p)
+	}
+}
+
+func encodePreds(preds []Pred) ([]json.RawMessage, error) {
+	out := make([]json.RawMessage, len(preds))
+	for i, p := range preds {
+		b, err := EncodePred(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// DecodePred deserializes a predicate.
+func DecodePred(data []byte) (Pred, error) {
+	var j jsonExpr
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, err
+	}
+	switch j.Kind {
+	case "true":
+		return True{}, nil
+	case "cmp":
+		op, err := cmpOpOf(j.Op)
+		if err != nil {
+			return nil, err
+		}
+		l, err := DecodeScalar(j.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := DecodeScalar(j.R)
+		if err != nil {
+			return nil, err
+		}
+		return Cmp{Op: op, L: l, R: r}, nil
+	case "and", "or":
+		preds := make([]Pred, len(j.Preds))
+		for i, raw := range j.Preds {
+			p, err := DecodePred(raw)
+			if err != nil {
+				return nil, err
+			}
+			preds[i] = p
+		}
+		if j.Kind == "and" {
+			return Conj{Preds: preds}, nil
+		}
+		return Disj{Preds: preds}, nil
+	case "not":
+		inner, err := DecodePred(j.Pred)
+		if err != nil {
+			return nil, err
+		}
+		return Not{P: inner}, nil
+	default:
+		return nil, fmt.Errorf("expr: unknown predicate kind %q", j.Kind)
+	}
+}
+
+func decodeValue(kind, text string) (value.Value, error) {
+	switch kind {
+	case "NULL":
+		return value.Null, nil
+	case "INT":
+		var n int64
+		if _, err := fmt.Sscanf(text, "%d", &n); err != nil {
+			return value.Null, fmt.Errorf("expr: bad INT %q", text)
+		}
+		return value.NewInt(n), nil
+	case "FLOAT":
+		var f float64
+		if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+			return value.Null, fmt.Errorf("expr: bad FLOAT %q", text)
+		}
+		return value.NewFloat(f), nil
+	case "STRING":
+		return value.NewString(text), nil
+	case "BOOL":
+		return value.NewBool(text == "true"), nil
+	default:
+		return value.Null, fmt.Errorf("expr: unknown value type %q", kind)
+	}
+}
+
+func arithOpOf(s string) (ArithOp, error) {
+	switch s {
+	case "+":
+		return Add, nil
+	case "-":
+		return Sub, nil
+	case "*":
+		return Mul, nil
+	case "/":
+		return Div, nil
+	}
+	return 0, fmt.Errorf("expr: unknown arithmetic operator %q", s)
+}
+
+func cmpOpOf(s string) (value.CmpOp, error) {
+	switch s {
+	case "=":
+		return value.EQ, nil
+	case "<>":
+		return value.NE, nil
+	case "<":
+		return value.LT, nil
+	case "<=":
+		return value.LE, nil
+	case ">":
+		return value.GT, nil
+	case ">=":
+		return value.GE, nil
+	}
+	return 0, fmt.Errorf("expr: unknown comparison %q", s)
+}

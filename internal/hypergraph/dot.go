@@ -1,0 +1,50 @@
+package hypergraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the hypergraph as a Graphviz graph in the style of the
+// paper's Figure 1: relations are circles; a simple hyperedge becomes
+// a (possibly directed) edge labelled with its predicate; a complex
+// hyperedge becomes a small square connected to its member relations,
+// with arrowheads on the null-supplying side for directed edges.
+func (h *Hypergraph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph hypergraph {\n  layout=neato;\n  node [fontname=\"Helvetica\"];\n  edge [fontname=\"Helvetica\", fontsize=10];\n")
+	for _, n := range h.Nodes {
+		fmt.Fprintf(&b, "  %s [shape=circle];\n", n)
+	}
+	for _, e := range h.Edges {
+		label := fmt.Sprintf("h%d: %s", e.ID, e.Pred)
+		if e.IsEdge() {
+			attrs := fmt.Sprintf("label=%q", label)
+			switch e.Kind {
+			case Undirected:
+				attrs += ", dir=none"
+			case BiDirected:
+				attrs += ", dir=both"
+			}
+			fmt.Fprintf(&b, "  %s -> %s [%s];\n", e.From[0], e.To[0], attrs)
+			continue
+		}
+		// Complex hyperedge: a connector square.
+		hub := fmt.Sprintf("h%d", e.ID)
+		fmt.Fprintf(&b, "  %s [shape=square, label=%q, fontsize=10];\n", hub, label)
+		for _, n := range e.From {
+			fmt.Fprintf(&b, "  %s -> %s [dir=none];\n", n, hub)
+		}
+		for _, n := range e.To {
+			arrow := "dir=none"
+			if e.Kind == Directed {
+				arrow = "dir=forward"
+			} else if e.Kind == BiDirected {
+				arrow = "dir=both"
+			}
+			fmt.Fprintf(&b, "  %s -> %s [%s];\n", hub, n, arrow)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,155 @@
+// Package optimizer selects the cheapest equivalent plan for a query
+// (Section 4): it closes the query under the paper's reordering
+// identities — commutativity, the [BHAR95a]/[GALI92a]
+// associativities, MGOJ introduction and generalized-selection
+// predicate break-up — plus the aggregation push-up of Example 3.1,
+// costs every member of the closure, and returns the minimum.
+//
+// A Baseline optimizer (no break-up, no push-up) models the state of
+// the art the paper improves on; comparing the two reproduces the
+// paper's cost-win claims (experiments E7 and E9 in DESIGN.md).
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/simplify"
+	"repro/internal/stats"
+)
+
+// Options configure an optimization run.
+type Options struct {
+	// Rules is the identity rule set; core.DefaultRules() if nil.
+	Rules []core.Rule
+	// MaxPlans caps the enumerated equivalence class (default 20000).
+	MaxPlans int
+	// PushUpAggregates also seeds the enumeration with
+	// aggregation-pull-up variants of the query (Example 3.1).
+	PushUpAggregates bool
+}
+
+// Ranked is one enumerated plan with its estimated cost.
+type Ranked struct {
+	Plan plan.Node
+	Cost float64
+	Rows float64
+	// Derivation is the chain of identity rules that produced the
+	// plan from the query as written (empty for the original).
+	Derivation []string
+}
+
+// Result reports an optimization run.
+type Result struct {
+	Best       Ranked
+	Original   Ranked
+	Considered int
+	// All plans, cheapest first (capped by Options.MaxPlans).
+	Plans []Ranked
+}
+
+// Optimizer ranks the equivalence class of a query by estimated cost.
+type Optimizer struct {
+	Est  *stats.Estimator
+	Opts Options
+}
+
+// New builds an optimizer over the given statistics with the paper's
+// full rule set and aggregation push-up enabled.
+func New(est *stats.Estimator) *Optimizer {
+	return &Optimizer{Est: est, Opts: Options{PushUpAggregates: true}}
+}
+
+// NewBaseline builds the comparison optimizer: no generalized
+// selection, no MGOJ, no aggregation push-up — only the reorderings
+// available before this paper.
+func NewBaseline(est *stats.Estimator) *Optimizer {
+	return &Optimizer{Est: est, Opts: Options{Rules: core.BaselineRules()}}
+}
+
+// Optimize enumerates the equivalence class of q and returns the
+// cheapest plan. The database is needed only for schema resolution of
+// aggregation push-up seeds; pass nil when PushUpAggregates is off.
+func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (*Result, error) {
+	maxPlans := o.Opts.MaxPlans
+	if maxPlans <= 0 {
+		maxPlans = 20000
+	}
+	type seed struct {
+		node   plan.Node
+		prefix []string
+	}
+	seeds := []seed{{node: q}}
+	// Outer join simplification first ([BHAR95c]); the paper assumes
+	// simple queries, and downgraded operators reorder more freely.
+	if s := simplify.Simplify(q); s.String() != q.String() {
+		seeds = append(seeds, seed{node: s, prefix: []string{"simplify-outer-joins"}})
+	}
+	rules := o.Opts.Rules
+	if o.Opts.PushUpAggregates {
+		// Aggregation pull-up participates in the closure itself, so
+		// it composes with reorderings (Query 1's join must move next
+		// to the aggregation before the pull-up applies).
+		if rules == nil {
+			rules = core.DefaultRules()
+		}
+		rules = append(append([]core.Rule(nil), rules...), core.PushUpRule(db))
+	}
+	seen := make(map[string]bool)
+	var all []plan.Node
+	var chains [][]string
+	for _, sd := range seeds {
+		plans, trace := core.SaturateTraced(sd.node, core.SaturateOptions{Rules: rules, MaxPlans: maxPlans - len(all)})
+		for _, p := range plans {
+			key := p.String()
+			if !seen[key] {
+				seen[key] = true
+				all = append(all, p)
+				chain := append(append([]string(nil), sd.prefix...), core.DerivationChain(trace, key)...)
+				chains = append(chains, chain)
+			}
+		}
+		if len(all) >= maxPlans {
+			break
+		}
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("optimizer: no plans enumerated for %s", q)
+	}
+	ranked := make([]Ranked, 0, len(all))
+	for i, p := range all {
+		cost, err := o.Est.PlanCost(p)
+		if err != nil {
+			return nil, fmt.Errorf("optimizer: costing %s: %w", p, err)
+		}
+		rows, err := o.Est.Rows(p)
+		if err != nil {
+			return nil, err
+		}
+		ranked = append(ranked, Ranked{Plan: p, Cost: cost, Rows: rows, Derivation: chains[i]})
+	}
+	res := &Result{Considered: len(ranked), Original: ranked[0]}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Cost < ranked[j].Cost })
+	res.Plans = ranked
+	res.Best = ranked[0]
+	return res, nil
+}
+
+// Explain renders an optimization result: the chosen plan, its cost,
+// and how it compares with the query as written.
+func Explain(res *Result) string {
+	out := fmt.Sprintf("plans considered: %d\n", res.Considered)
+	out += fmt.Sprintf("original cost:   %.1f (est. %.0f rows)\n", res.Original.Cost, res.Original.Rows)
+	out += fmt.Sprintf("best cost:       %.1f (est. %.0f rows)\n", res.Best.Cost, res.Best.Rows)
+	if res.Original.Cost > 0 {
+		out += fmt.Sprintf("speedup:         %.2fx\n", res.Original.Cost/res.Best.Cost)
+	}
+	if len(res.Best.Derivation) > 0 {
+		out += "derivation:      " + strings.Join(res.Best.Derivation, " -> ") + "\n"
+	}
+	out += "best plan:\n" + plan.Indent(res.Best.Plan)
+	return out
+}

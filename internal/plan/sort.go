@@ -1,0 +1,135 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// SortKey orders by one attribute; NULLs sort last ascending (first
+// descending), matching common SQL defaults.
+type SortKey struct {
+	Attr schema.Attribute
+	Desc bool
+}
+
+// String renders e.g. "t.a desc".
+func (k SortKey) String() string {
+	if k.Desc {
+		return k.Attr.String() + " desc"
+	}
+	return k.Attr.String()
+}
+
+// Sort orders its input by the keys and optionally keeps only the
+// first Limit rows (Limit < 0 means no limit). It is a presentation
+// operator: lowering places it at the root and the reordering rules
+// pass over it untouched.
+type Sort struct {
+	Keys  []SortKey
+	Limit int
+	Input Node
+}
+
+// NewSort builds a sort node; limit < 0 disables the limit.
+func NewSort(keys []SortKey, limit int, in Node) *Sort {
+	return &Sort{Keys: keys, Limit: limit, Input: in}
+}
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.Input} }
+
+// WithChildren implements Node.
+func (s *Sort) WithChildren(ch []Node) Node {
+	if len(ch) != 1 {
+		panic("plan: Sort needs one child")
+	}
+	return &Sort{Keys: s.Keys, Limit: s.Limit, Input: ch[0]}
+}
+
+// Schema implements Node.
+func (s *Sort) Schema(db Database) (*schema.Schema, error) { return s.Input.Schema(db) }
+
+// Eval implements Node.
+func (s *Sort) Eval(db Database) (*relation.Relation, error) {
+	in, err := s.Input.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	return SortRows(in, s.Keys, s.Limit)
+}
+
+// SortRows applies the ordering and limit to a materialized relation.
+func SortRows(in *relation.Relation, keys []SortKey, limit int) (*relation.Relation, error) {
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		idx[i] = in.Schema().IndexOf(k.Attr)
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("plan: sort key %s not in %s", k.Attr, in.Schema())
+		}
+	}
+	rows := append([]relation.Tuple(nil), in.Tuples()...)
+	sort.SliceStable(rows, func(a, b int) bool {
+		for i, j := range idx {
+			va, vb := rows[a][j], rows[b][j]
+			c := compareForSort(va, vb)
+			if c == 0 {
+				continue
+			}
+			if keys[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if limit >= 0 && limit < len(rows) {
+		rows = rows[:limit]
+	}
+	out := relation.New(in.Schema())
+	for _, t := range rows {
+		out.Append(t)
+	}
+	return out, nil
+}
+
+// compareForSort orders values with NULLs after every non-NULL value.
+func compareForSort(a, b value.Value) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return 1
+	case b.IsNull():
+		return -1
+	}
+	if c, ok := value.Compare(a, b); ok {
+		return c
+	}
+	// Incomparable kinds: order by rendered text for determinism.
+	as, bs := a.Key(), b.Key()
+	switch {
+	case as < bs:
+		return -1
+	case as > bs:
+		return 1
+	}
+	return 0
+}
+
+// String implements Node.
+func (s *Sort) String() string {
+	keys := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		keys[i] = k.String()
+	}
+	lim := ""
+	if s.Limit >= 0 {
+		lim = fmt.Sprintf(" limit %d", s.Limit)
+	}
+	return fmt.Sprintf("SORT[%s%s](%s)", strings.Join(keys, ","), lim, s.Input)
+}

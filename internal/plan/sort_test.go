@@ -1,0 +1,223 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func sortInput() Database {
+	r := relation.NewBuilder("t", "a", "b").
+		Row(value.NewInt(3), value.NewString("x")).
+		Row(value.NewInt(1), value.NewString("z")).
+		Row(value.Null, value.NewString("y")).
+		Row(value.NewInt(1), value.NewString("a")).
+		Relation()
+	return Database{"t": r}
+}
+
+func TestSortAscNullsLast(t *testing.T) {
+	db := sortInput()
+	s := NewSort([]SortKey{{Attr: schema.Attr("t", "a")}}, -1, NewScan("t"))
+	out, err := s.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := schema.Attr("t", "a")
+	if out.Value(out.Tuple(0), a).Int() != 1 || !out.Value(out.Tuple(3), a).IsNull() {
+		t.Errorf("asc nulls-last wrong:\n%s", out)
+	}
+	if sc, _ := s.Schema(db); !sc.Equal(db["t"].Schema()) {
+		t.Error("sort schema must pass through")
+	}
+}
+
+func TestSortDescAndTieBreak(t *testing.T) {
+	db := sortInput()
+	s := NewSort([]SortKey{
+		{Attr: schema.Attr("t", "a"), Desc: true},
+		{Attr: schema.Attr("t", "b")},
+	}, -1, NewScan("t"))
+	out, err := s.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := schema.Attr("t", "a"), schema.Attr("t", "b")
+	// Desc: NULL first, then 3, then the two 1s tie-broken by b asc.
+	if !out.Value(out.Tuple(0), a).IsNull() {
+		t.Errorf("desc nulls-first wrong:\n%s", out)
+	}
+	if out.Value(out.Tuple(1), a).Int() != 3 {
+		t.Errorf("desc order wrong:\n%s", out)
+	}
+	if out.Value(out.Tuple(2), b).Str() != "a" || out.Value(out.Tuple(3), b).Str() != "z" {
+		t.Errorf("tie break wrong:\n%s", out)
+	}
+}
+
+func TestSortLimit(t *testing.T) {
+	db := sortInput()
+	s := NewSort([]SortKey{{Attr: schema.Attr("t", "a")}}, 2, NewScan("t"))
+	out, err := s.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("limit = %d rows", out.Len())
+	}
+	if !strings.Contains(s.String(), "limit 2") {
+		t.Errorf("String = %q", s.String())
+	}
+	// Limit larger than input is a no-op.
+	s2 := NewSort(nil, 100, NewScan("t"))
+	out2, err := s2.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Len() != 4 {
+		t.Errorf("over-limit rows = %d", out2.Len())
+	}
+}
+
+func TestSortErrorsAndWithChildren(t *testing.T) {
+	db := sortInput()
+	bad := NewSort([]SortKey{{Attr: schema.Attr("t", "nosuch")}}, -1, NewScan("t"))
+	if _, err := bad.Eval(db); err == nil {
+		t.Error("missing sort key must fail")
+	}
+	s := NewSort([]SortKey{{Attr: schema.Attr("t", "a")}}, -1, NewScan("t"))
+	if len(s.Children()) != 1 {
+		t.Error("Children wrong")
+	}
+	replaced := s.WithChildren([]Node{NewScan("t")})
+	if replaced.(*Sort).Limit != -1 {
+		t.Error("WithChildren lost fields")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong arity must panic")
+		}
+	}()
+	s.WithChildren(nil)
+}
+
+func TestSortMixedKindsDeterministic(t *testing.T) {
+	r := relation.NewBuilder("m", "v").
+		Row(value.NewString("b")).
+		Row(value.NewInt(1)).
+		Row(value.NewString("a")).
+		Relation()
+	db := Database{"m": r}
+	s := NewSort([]SortKey{{Attr: schema.Attr("m", "v")}}, -1, NewScan("m"))
+	out1, err := s.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, _ := s.Eval(db)
+	for i := 0; i < out1.Len(); i++ {
+		if !value.Equal(out1.Tuple(i)[0], out2.Tuple(i)[0]) {
+			t.Fatal("mixed-kind ordering must be deterministic")
+		}
+	}
+}
+
+// TestNodeStringsAndEvalCoverage pushes the remaining node methods
+// through their paces: MGOJ/GenSel/Project eval via plans, Indent of
+// a Sort, and scan alias round trips.
+func TestNodeStringsAndEvalCoverage(t *testing.T) {
+	db := testDB()
+	p := expr.EqCols("r1", "x", "r2", "x")
+	mgoj := NewMGOJ(p, []PreservedSpec{NewPreserved("r1")}, NewScan("r1"), NewScan("r2"))
+	out, err := mgoj.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("MGOJ eval empty")
+	}
+	if sc, err := mgoj.Schema(db); err != nil || sc.Len() != 6 {
+		t.Errorf("MGOJ schema: %v %v", sc, err)
+	}
+	if mgoj.WithChildren([]Node{mgoj.R, mgoj.L}).(*MGOJNode).Pred.String() != p.String() {
+		t.Error("MGOJ WithChildren lost pred")
+	}
+	if !strings.Contains(mgoj.String(), "MGOJ") {
+		t.Errorf("MGOJ String = %q", mgoj)
+	}
+
+	gs := NewGenSel(p, []PreservedSpec{NewPreserved("r1")}, mgoj)
+	if _, err := gs.Eval(db); err != nil {
+		t.Fatal(err)
+	}
+	if sc, err := gs.Schema(db); err != nil || sc.Len() != 6 {
+		t.Errorf("GS schema: %v %v", sc, err)
+	}
+
+	proj := NewProject([]schema.Attribute{schema.Attr("r1", "x")}, true, NewScan("r1"))
+	if out, err := proj.Eval(db); err != nil || out.Len() != 2 {
+		t.Errorf("project eval: %v %v", out, err)
+	}
+	if sc, err := proj.Schema(db); err != nil || sc.Len() != 1 {
+		t.Errorf("project schema: %v %v", sc, err)
+	}
+	if proj.WithChildren([]Node{NewScan("r1")}).(*Project).Distinct != true {
+		t.Error("project WithChildren lost distinct")
+	}
+	if !strings.Contains(proj.String(), "distinct") {
+		t.Errorf("project String = %q", proj)
+	}
+
+	sel := NewSelect(p, NewScan("r1"))
+	if sel.WithChildren([]Node{NewScan("r2")}).(*Select).Pred.String() != p.String() {
+		t.Error("select WithChildren lost pred")
+	}
+	gb := NewGroupBy([]schema.Attribute{schema.Attr("r1", "x")},
+		[]algebra.Aggregate{{Func: algebra.CountStar, Out: schema.Attr("q", "c")}}, NewScan("r1"))
+	if gb.WithChildren([]Node{NewScan("r1")}).(*GroupBy).Aggs[0].Out != schema.Attr("q", "c") {
+		t.Error("groupby WithChildren lost aggs")
+	}
+	if !strings.Contains(gb.String(), "count(*)") {
+		t.Errorf("groupby String = %q", gb)
+	}
+
+	sorted := NewSort([]SortKey{{Attr: schema.Attr("r1", "x"), Desc: true}}, 1, NewScan("r1"))
+	text := Indent(sorted)
+	if !strings.Contains(text, "Sort") || !strings.Contains(text, "limit 1") {
+		t.Errorf("Indent(Sort) = %q", text)
+	}
+	if !strings.Contains(DOT(sorted), "invtriangle") {
+		t.Error("DOT(Sort) missing shape")
+	}
+	if !strings.Contains(DOT(sel), "diamond") {
+		t.Error("DOT(Select) missing shape")
+	}
+	if !strings.Contains(DOT(mgoj), "MGOJ") {
+		t.Error("DOT(MGOJ) missing label")
+	}
+	if !strings.Contains(DOT(NewProject(nil, false, NewScan("r1"))), "triangle") {
+		t.Error("DOT(Project) missing shape")
+	}
+	// Schema error propagation through unary/binary nodes.
+	for _, n := range []Node{
+		NewSelect(p, NewScan("nosuch")),
+		NewProject(nil, false, NewScan("nosuch")),
+		NewGenSel(p, nil, NewScan("nosuch")),
+		NewGroupBy(nil, nil, NewScan("nosuch")),
+		NewSort(nil, -1, NewScan("nosuch")),
+		NewMGOJ(p, nil, NewScan("nosuch"), NewScan("r1")),
+		NewMGOJ(p, nil, NewScan("r1"), NewScan("nosuch")),
+		NewJoin(InnerJoin, p, NewScan("nosuch"), NewScan("r1")),
+	} {
+		if _, err := n.Schema(db); err == nil {
+			t.Errorf("schema error not propagated for %T", n)
+		}
+		if _, err := n.Eval(db); err == nil {
+			t.Errorf("eval error not propagated for %T", n)
+		}
+	}
+}

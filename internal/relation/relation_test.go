@@ -1,0 +1,207 @@
+package relation
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func sample() *Relation {
+	return NewBuilder("r", "a", "b").
+		Row(value.NewInt(1), value.NewInt(10)).
+		Row(value.NewInt(1), value.NewInt(10)).
+		Row(value.NewInt(2), value.Null).
+		Relation()
+}
+
+func TestBuilderAssignsRIDs(t *testing.T) {
+	r := sample()
+	rid := schema.RID("r")
+	seen := map[int64]bool{}
+	for _, tu := range r.Tuples() {
+		id := r.Value(tu, rid).Int()
+		if seen[id] {
+			t.Fatalf("duplicate rid %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestBuilderArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong arity must panic")
+		}
+	}()
+	NewBuilder("r", "a").Row(value.NewInt(1), value.NewInt(2))
+}
+
+func TestAppendArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong arity must panic")
+		}
+	}()
+	sample().Append(Tuple{value.NewInt(1)})
+}
+
+func TestProjectDistinct(t *testing.T) {
+	r := sample()
+	a := schema.Attr("r", "a")
+	dup := r.Project([]schema.Attribute{a}, false)
+	if dup.Len() != 3 {
+		t.Errorf("non-distinct projection lost rows: %d", dup.Len())
+	}
+	dis := r.Project([]schema.Attribute{a}, true)
+	if dis.Len() != 2 {
+		t.Errorf("distinct projection = %d rows, want 2", dis.Len())
+	}
+}
+
+func TestMinus(t *testing.T) {
+	r := sample()
+	a := []schema.Attribute{schema.Attr("r", "a")}
+	all := r.Project(a, true)
+	none := all.Minus(all)
+	if none.Len() != 0 {
+		t.Errorf("x - x must be empty, got %d", none.Len())
+	}
+	empty := New(schema.New(a...))
+	if got := all.Minus(empty); got.Len() != all.Len() {
+		t.Errorf("x - empty must be x")
+	}
+	// NULLs are identical for Minus.
+	withNull := New(schema.New(schema.Attr("r", "b")))
+	withNull.Append(Tuple{value.Null})
+	if got := withNull.Minus(withNull); got.Len() != 0 {
+		t.Error("NULL rows must cancel in Minus")
+	}
+}
+
+func TestOuterUnionPadsNulls(t *testing.T) {
+	r1 := NewBuilder("r1", "a").Row(value.NewInt(1)).Relation()
+	r2 := NewBuilder("r2", "b").Row(value.NewInt(2)).Relation()
+	u := r1.OuterUnion(r2)
+	if u.Len() != 2 || u.Schema().Len() != 4 {
+		t.Fatalf("outer union shape: %d rows, schema %s", u.Len(), u.Schema())
+	}
+	if !u.Value(u.Tuple(0), schema.Attr("r2", "b")).IsNull() {
+		t.Error("r1 row must be padded on r2 attributes")
+	}
+	if !u.Value(u.Tuple(1), schema.Attr("r1", "a")).IsNull() {
+		t.Error("r2 row must be padded on r1 attributes")
+	}
+}
+
+func TestReorderRoundTrip(t *testing.T) {
+	r := sample()
+	attrs := r.Schema().Attrs()
+	rev := make([]schema.Attribute, len(attrs))
+	for i := range attrs {
+		rev[i] = attrs[len(attrs)-1-i]
+	}
+	back := r.Reorder(schema.New(rev...)).Reorder(r.Schema())
+	if !back.EqualAsMultisets(r) {
+		t.Error("reorder round trip changed contents")
+	}
+}
+
+func TestEqualAsSetsIgnoresOrderAndDuplicates(t *testing.T) {
+	r := sample()
+	shuffled := New(r.Schema())
+	shuffled.Append(r.Tuple(2))
+	shuffled.Append(r.Tuple(0))
+	shuffled.Append(r.Tuple(1))
+	shuffled.Append(r.Tuple(0)) // duplicate collapses under set semantics
+	if !r.EqualAsSets(shuffled) {
+		t.Error("set equality must ignore order and duplicates")
+	}
+	if r.EqualAsMultisets(shuffled) {
+		t.Error("multiset equality must notice the extra duplicate")
+	}
+}
+
+func TestEqualDifferentSchemas(t *testing.T) {
+	r1 := NewBuilder("r1", "a").Row(value.NewInt(1)).Relation()
+	r2 := NewBuilder("r2", "a").Row(value.NewInt(1)).Relation()
+	if r1.EqualAsSets(r2) {
+		t.Error("different attribute sets are never equal")
+	}
+}
+
+func TestFormatHidesVirtual(t *testing.T) {
+	r := sample()
+	withOut := r.Format(false)
+	if strings.Contains(withOut, "#rid") {
+		t.Error("Format(false) must hide row ids")
+	}
+	withRid := r.Format(true)
+	if !strings.Contains(withRid, "#rid") {
+		t.Error("Format(true) must show row ids")
+	}
+	if !strings.Contains(withOut, "-") {
+		t.Error("NULL renders as dash, matching the paper's tables")
+	}
+}
+
+func TestSortForDisplayDeterministic(t *testing.T) {
+	mk := func(seed int64) string {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder("r", "a")
+		vals := []int64{3, 1, 2, 1}
+		rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		for _, v := range vals {
+			b.Row(value.NewInt(v))
+		}
+		r := b.Relation()
+		// Strip rids so ordering depends on data only.
+		p := r.Project([]schema.Attribute{schema.Attr("r", "a")}, false)
+		p.SortForDisplay()
+		return p.String()
+	}
+	if mk(1) != mk(2) {
+		t.Error("display order must not depend on insertion order")
+	}
+}
+
+// TestPadToProperty: padding to a superset schema preserves the
+// original columns and NULL-fills the rest.
+func TestPadToProperty(t *testing.T) {
+	f := func(vals []int8) bool {
+		b := NewBuilder("r", "a")
+		for _, v := range vals {
+			b.Row(value.NewInt(int64(v)))
+		}
+		r := b.Relation()
+		super := r.Schema().Concat(schema.Base("s", "x"))
+		padded := r.PadTo(super)
+		if padded.Len() != r.Len() {
+			return false
+		}
+		for i, tu := range padded.Tuples() {
+			if !padded.Value(tu, schema.Attr("s", "x")).IsNull() {
+				return false
+			}
+			if !value.Equal(padded.Value(tu, schema.Attr("r", "a")), r.Value(r.Tuple(i), schema.Attr("r", "a"))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleKeyDistinguishesBoundaries(t *testing.T) {
+	// ("ab", "c") must differ from ("a", "bc").
+	t1 := Tuple{value.NewString("ab"), value.NewString("c")}
+	t2 := Tuple{value.NewString("a"), value.NewString("bc")}
+	if t1.Key() == t2.Key() {
+		t.Error("tuple keys must respect value boundaries")
+	}
+}

@@ -1,0 +1,28 @@
+package sql
+
+import "testing"
+
+// FuzzParse ensures the lexer and parser never panic on arbitrary
+// input — they must fail with errors.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"select a from t",
+		"select a, b from t where a = 1 and b < 'x'",
+		"select * from (select a from t) as v left outer join s on v.a = s.a",
+		"select supkey, count(*) as c from d group by supkey having count(*) > 2",
+		"select a from t where b = (select count(*) from s where s.a = t.a)",
+		"select -- comment\n a from t",
+		"select a from t where a >= 1.5e2",
+		"select '' from t",
+		"(((((",
+		"select",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err == nil && stmt != nil {
+			_ = stmt.String() // rendering must not panic either
+		}
+	})
+}

@@ -1,0 +1,109 @@
+// Package sql implements a front end for the SQL subset the paper's
+// queries are written in: SELECT lists with aggregates and aliases,
+// FROM clauses with base tables, derived tables and
+// INNER/LEFT/RIGHT/FULL OUTER joins, WHERE with conjunctive
+// comparisons and correlated COUNT subqueries, GROUP BY and HAVING.
+//
+// Lowering produces logical plans over the same operators the rest of
+// the system reorders: views are merged (name resolution through
+// derived tables rather than opaque boundaries), aggregated views
+// become generalized projections, and correlated COUNT subqueries are
+// unnested through core.JoinAggregateQuery into the outer-join +
+// group-by + generalized-selection form of Section 1.1.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers lowercased; symbols verbatim
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits the input into tokens. SQL keywords are returned as
+// identifiers; the parser matches them case-insensitively.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '-' && i+1 < len(input) && input[i+1] == '-':
+			for i < len(input) && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(input) && (isIdentChar(rune(input[i]))) {
+				i++
+			}
+			toks = append(toks, token{tokIdent, strings.ToLower(input[start:i]), start})
+		case unicode.IsDigit(c):
+			start := i
+			for i < len(input) && (unicode.IsDigit(rune(input[i])) || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			for i < len(input) && input[i] != '\'' {
+				i++
+			}
+			if i >= len(input) {
+				return nil, fmt.Errorf("sql: unterminated string literal at %d", start)
+			}
+			toks = append(toks, token{tokString, input[start+1 : i], start})
+			i++
+		default:
+			start := i
+			// Two-character operators first.
+			if i+1 < len(input) {
+				two := input[i : i+2]
+				switch two {
+				case "<=", ">=", "<>", "!=":
+					toks = append(toks, token{tokSymbol, two, start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '=', '<', '>', '(', ')', ',', '.', '*', '+', '-', '/':
+				toks = append(toks, token{tokSymbol, string(c), start})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+func isIdentChar(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}

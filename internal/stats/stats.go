@@ -1,0 +1,413 @@
+// Package stats implements the statistics and cost model the
+// optimizer ranks plans with (Section 4 notes that the enumeration
+// technique "has to be extended so that it considers the cost of the
+// generalized selection operator"; its cost is modelled like MGOJ's,
+// as the paper prescribes).
+//
+// The model is the textbook System-R style: per-table row counts,
+// per-column distinct counts, uniformity and independence
+// assumptions. Costs are abstract work units (tuples touched and
+// predicates evaluated), which is the right fidelity for reproducing
+// the paper's *relative* plan-cost claims.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// ColumnStats summarises one column.
+type ColumnStats struct {
+	Distinct float64 // number of distinct non-NULL values
+	NullFrac float64 // fraction of NULLs
+	// TopValues maps frequent value keys to their fraction of the
+	// rows (a most-common-values list), used for column = constant
+	// selectivity. Populated when the column has few distinct values.
+	TopValues map[string]float64
+}
+
+// TableStats summarises one base relation.
+type TableStats struct {
+	Rows    float64
+	Columns map[string]ColumnStats // keyed by column name
+}
+
+// Catalog maps base relation names to statistics.
+type Catalog map[string]TableStats
+
+// FromDatabase computes exact statistics from the extensions of db —
+// the "ANALYZE" of this engine.
+func FromDatabase(db plan.Database) Catalog {
+	cat := make(Catalog, len(db))
+	for name, rel := range db {
+		ts := TableStats{Rows: float64(rel.Len()), Columns: make(map[string]ColumnStats)}
+		s := rel.Schema()
+		for i := 0; i < s.Len(); i++ {
+			a := s.At(i)
+			if a.Virtual {
+				continue
+			}
+			freq := make(map[string]int)
+			nulls := 0
+			for _, t := range rel.Tuples() {
+				v := t[i]
+				if v.IsNull() {
+					nulls++
+					continue
+				}
+				freq[v.Key()]++
+			}
+			cs := ColumnStats{Distinct: float64(len(freq))}
+			if rel.Len() > 0 {
+				cs.NullFrac = float64(nulls) / float64(rel.Len())
+			}
+			if len(freq) > 0 && len(freq) <= 64 && rel.Len() > 0 {
+				cs.TopValues = make(map[string]float64, len(freq))
+				for k, n := range freq {
+					cs.TopValues[k] = float64(n) / float64(rel.Len())
+				}
+			}
+			ts.Columns[a.Col] = cs
+		}
+		cat[name] = ts
+	}
+	return cat
+}
+
+// column returns stats for an attribute, with a permissive default
+// for generated columns (aggregates) whose distribution is unknown.
+func (c Catalog) column(a schema.Attribute) ColumnStats {
+	if ts, ok := c[a.Rel]; ok {
+		if cs, ok := ts.Columns[a.Col]; ok {
+			return cs
+		}
+		return ColumnStats{Distinct: math.Max(1, ts.Rows/10)}
+	}
+	return ColumnStats{Distinct: 10}
+}
+
+// CostModel weights the abstract operations.
+type CostModel struct {
+	Tuple      float64 // producing one output tuple
+	Pred       float64 // one predicate evaluation
+	Hash       float64 // one hash probe/insert (equi-joins, grouping)
+	IndexProbe float64 // one index lookup into a base relation
+}
+
+// DefaultCost is a reasonable weighting: predicate evaluation is
+// cheap, hashing slightly more, materializing output dominates, and
+// an index probe costs a few comparisons. Base relations are assumed
+// to carry indexes on their join columns (Example 1.1's "specially if
+// there is an index in relation 95DETAIL").
+var DefaultCost = CostModel{Tuple: 1.0, Pred: 0.2, Hash: 0.5, IndexProbe: 2.0}
+
+// Estimator derives cardinalities and costs for logical plans.
+type Estimator struct {
+	Cat  Catalog
+	Cost CostModel
+}
+
+// NewEstimator builds an estimator over the catalog with the default
+// cost model.
+func NewEstimator(cat Catalog) *Estimator {
+	return &Estimator{Cat: cat, Cost: DefaultCost}
+}
+
+// Selectivity estimates the fraction of candidate tuples satisfying
+// p, assuming independence across conjuncts.
+func (e *Estimator) Selectivity(p expr.Pred) float64 {
+	sel := 1.0
+	for _, c := range expr.Conjuncts(p) {
+		sel *= e.atomSelectivity(c)
+	}
+	return clamp01(sel)
+}
+
+func (e *Estimator) atomSelectivity(p expr.Pred) float64 {
+	cmp, ok := p.(expr.Cmp)
+	if !ok {
+		return 0.5
+	}
+	lCol, lIsCol := cmp.L.(expr.Col)
+	rCol, rIsCol := cmp.R.(expr.Col)
+	switch cmp.Op {
+	case value.EQ:
+		switch {
+		case lIsCol && rIsCol:
+			d1 := math.Max(1, e.Cat.column(lCol.Attr).Distinct)
+			d2 := math.Max(1, e.Cat.column(rCol.Attr).Distinct)
+			return 1 / math.Max(d1, d2)
+		case lIsCol:
+			return e.eqConstSelectivity(lCol, cmp.R)
+		case rIsCol:
+			return e.eqConstSelectivity(rCol, cmp.L)
+		default:
+			return 0.1
+		}
+	case value.NE:
+		return 1 - e.atomSelectivity(expr.Cmp{Op: value.EQ, L: cmp.L, R: cmp.R})
+	default: // range comparisons
+		return 1.0 / 3
+	}
+}
+
+// eqConstSelectivity estimates column = constant, consulting the
+// most-common-values list when the constant is a literal.
+func (e *Estimator) eqConstSelectivity(col expr.Col, other expr.Scalar) float64 {
+	cs := e.Cat.column(col.Attr)
+	if c, ok := other.(expr.Const); ok && cs.TopValues != nil {
+		if frac, ok := cs.TopValues[c.Val.Key()]; ok {
+			return frac
+		}
+		return 0.001 // literal absent from the MCV list: rare value
+	}
+	return 1 / math.Max(1, cs.Distinct)
+}
+
+// Rows estimates the output cardinality of n.
+func (e *Estimator) Rows(n plan.Node) (float64, error) {
+	switch m := n.(type) {
+	case *plan.Scan:
+		ts, ok := e.Cat[m.Rel]
+		if !ok {
+			return 0, fmt.Errorf("stats: no statistics for %q", m.Rel)
+		}
+		return ts.Rows, nil
+	case *plan.Select:
+		in, err := e.Rows(m.Input)
+		if err != nil {
+			return 0, err
+		}
+		return in * e.Selectivity(m.Pred), nil
+	case *plan.Join:
+		l, err := e.Rows(m.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := e.Rows(m.R)
+		if err != nil {
+			return 0, err
+		}
+		match := l * r * e.Selectivity(m.Pred)
+		switch m.Kind {
+		case plan.InnerJoin:
+			return match, nil
+		case plan.LeftJoin:
+			return math.Max(match, l), nil
+		case plan.RightJoin:
+			return math.Max(match, r), nil
+		default: // FullJoin
+			return math.Max(match, math.Max(l, r)), nil
+		}
+	case *plan.GenSel:
+		in, err := e.Rows(m.Input)
+		if err != nil {
+			return 0, err
+		}
+		sel := e.Selectivity(m.Pred)
+		out := in * sel
+		// Each preserved relation re-contributes its unmatched
+		// distinct projections, at most the input cardinality.
+		for range m.Preserved {
+			out += in * (1 - sel) * 0.5
+		}
+		return math.Min(out, in*(1+float64(len(m.Preserved)))), nil
+	case *plan.MGOJNode:
+		l, err := e.Rows(m.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := e.Rows(m.R)
+		if err != nil {
+			return 0, err
+		}
+		match := l * r * e.Selectivity(m.Pred)
+		return match + float64(len(m.Preserved))*math.Max(l, r)*0.5, nil
+	case *plan.GroupBy:
+		in, err := e.Rows(m.Input)
+		if err != nil {
+			return 0, err
+		}
+		groups := 1.0
+		for _, k := range m.Keys {
+			if k.Virtual {
+				// A row identifier makes groups nearly per-row.
+				groups *= math.Max(1, in)
+			} else {
+				groups *= math.Max(1, e.Cat.column(k).Distinct)
+			}
+			if groups >= in {
+				break
+			}
+		}
+		return math.Min(groups, math.Max(1, in)), nil
+	case *plan.Project:
+		in, err := e.Rows(m.Input)
+		if err != nil {
+			return 0, err
+		}
+		if m.Distinct {
+			return math.Max(1, in/2), nil
+		}
+		return in, nil
+	case *plan.Sort:
+		in, err := e.Rows(m.Input)
+		if err != nil {
+			return 0, err
+		}
+		if m.Limit >= 0 {
+			return math.Min(in, float64(m.Limit)), nil
+		}
+		return in, nil
+	default:
+		return 0, fmt.Errorf("stats: cannot estimate %T", n)
+	}
+}
+
+// PlanCost estimates the total abstract cost of executing n,
+// including its inputs. Joins with at least one equality conjunct
+// cost as hash joins; others as nested loops. Generalized selection
+// costs one pass over its input plus an anti-join pass per preserved
+// relation — the same shape as MGOJ, per Section 4.
+func (e *Estimator) PlanCost(n plan.Node) (float64, error) {
+	var rec func(n plan.Node) (rows, cost float64, err error)
+	rec = func(n plan.Node) (float64, float64, error) {
+		rows, err := e.Rows(n)
+		if err != nil {
+			return 0, 0, err
+		}
+		switch m := n.(type) {
+		case *plan.Scan:
+			return rows, rows * e.Cost.Tuple, nil
+		case *plan.Select:
+			in, c, err := rec(m.Input)
+			if err != nil {
+				return 0, 0, err
+			}
+			return rows, c + in*e.Cost.Pred + rows*e.Cost.Tuple, nil
+		case *plan.Join, *plan.MGOJNode:
+			var l, r plan.Node
+			var p expr.Pred
+			var preserved int
+			if j, ok := n.(*plan.Join); ok {
+				l, r, p = j.L, j.R, j.Pred
+			} else {
+				mg := n.(*plan.MGOJNode)
+				l, r, p = mg.L, mg.R, mg.Pred
+				preserved = len(mg.Preserved)
+			}
+			lr, lc, err := rec(l)
+			if err != nil {
+				return 0, 0, err
+			}
+			rr, rc, err := rec(r)
+			if err != nil {
+				return 0, 0, err
+			}
+			var opCost float64
+			if hasEquiConjunct(p) {
+				opCost = (lr + rr) * e.Cost.Hash
+				// An index nested loop over a base relation beats the
+				// hash join when the outer input is small — the
+				// Example 1.1 index case.
+				if _, rScan := r.(*plan.Scan); rScan {
+					opCost = math.Min(opCost, lr*e.Cost.IndexProbe)
+				}
+				if _, lScan := l.(*plan.Scan); lScan {
+					opCost = math.Min(opCost, rr*e.Cost.IndexProbe)
+				}
+				opCost += rows * e.Cost.Tuple
+			} else {
+				opCost = lr*rr*e.Cost.Pred + rows*e.Cost.Tuple
+			}
+			opCost += float64(preserved) * (lr + rr) * e.Cost.Hash
+			return rows, lc + rc + opCost, nil
+		case *plan.GenSel:
+			in, c, err := rec(m.Input)
+			if err != nil {
+				return 0, 0, err
+			}
+			op := in * e.Cost.Pred
+			// Anti-join per preserved relation: hash the selected
+			// projections, probe the input's projections.
+			op += float64(len(m.Preserved)) * 2 * in * e.Cost.Hash
+			return rows, c + op + rows*e.Cost.Tuple, nil
+		case *plan.GroupBy:
+			in, c, err := rec(m.Input)
+			if err != nil {
+				return 0, 0, err
+			}
+			return rows, c + in*e.Cost.Hash + rows*e.Cost.Tuple, nil
+		case *plan.Project:
+			in, c, err := rec(m.Input)
+			if err != nil {
+				return 0, 0, err
+			}
+			op := in * e.Cost.Tuple
+			if m.Distinct {
+				op += in * e.Cost.Hash
+			}
+			return rows, c + op, nil
+		case *plan.Sort:
+			in, c, err := rec(m.Input)
+			if err != nil {
+				return 0, 0, err
+			}
+			// n log n comparisons plus the (limited) output.
+			op := in*math.Log2(math.Max(2, in))*e.Cost.Pred + rows*e.Cost.Tuple
+			return rows, c + op, nil
+		default:
+			return 0, 0, fmt.Errorf("stats: cannot cost %T", n)
+		}
+	}
+	_, cost, err := rec(n)
+	return cost, err
+}
+
+// hasEquiConjunct reports whether p contains a column = column
+// conjunct usable by a hash join.
+func hasEquiConjunct(p expr.Pred) bool {
+	for _, c := range expr.Conjuncts(p) {
+		if cmp, ok := c.(expr.Cmp); ok && cmp.Op == value.EQ {
+			if _, lc := cmp.L.(expr.Col); lc {
+				if _, rc := cmp.R.(expr.Col); rc {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Summarize renders the catalog compactly for EXPLAIN output.
+func (c Catalog) Summarize() string {
+	out := ""
+	for name, ts := range c {
+		out += fmt.Sprintf("%s: %.0f rows, %d columns\n", name, ts.Rows, len(ts.Columns))
+	}
+	return out
+}
+
+// RowsOf is a convenience to fetch actual row counts from a database.
+func RowsOf(db plan.Database) map[string]int {
+	out := make(map[string]int, len(db))
+	for k, v := range db {
+		out[k] = v.Len()
+	}
+	return out
+}

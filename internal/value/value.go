@@ -1,0 +1,406 @@
+// Package value implements SQL scalar values with NULL and the
+// three-valued logic that null in-tolerant predicate evaluation
+// (Section 1.2 of Goel & Iyer, SIGMOD '96) is built on.
+//
+// A Value is a small immutable variant record: one of NULL, INT,
+// FLOAT, STRING or BOOL. Comparisons between values follow SQL
+// semantics: any comparison involving NULL yields Unknown, numeric
+// kinds compare by value (an INT compares with a FLOAT), and
+// cross-kind comparisons between non-numeric kinds are an error at
+// plan-build time, surfaced here as Unknown.
+package value
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is an immutable SQL scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewInt returns an INT value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewString returns a STRING value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewBool returns a BOOL value.
+func NewBool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the value's runtime kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the INT payload; it panics if the kind is not INT.
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("value: Int() on %s", v.kind))
+	}
+	return v.i
+}
+
+// Float returns the FLOAT payload, converting from INT if needed; it
+// panics for non-numeric kinds.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	}
+	panic(fmt.Sprintf("value: Float() on %s", v.kind))
+}
+
+// Str returns the STRING payload; it panics if the kind is not STRING.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("value: Str() on %s", v.kind))
+	}
+	return v.s
+}
+
+// Bool returns the BOOL payload; it panics if the kind is not BOOL.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("value: Bool() on %s", v.kind))
+	}
+	return v.b
+}
+
+// IsNumeric reports whether the value is INT or FLOAT.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String renders the value for plan and table printing. NULL renders
+// as "-" to match the dashes in the paper's example tables.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "-"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// GoString renders the value unambiguously for debugging.
+func (v Value) GoString() string {
+	if v.kind == KindString {
+		return strconv.Quote(v.s)
+	}
+	return v.String()
+}
+
+// Tristate is the result of a three-valued-logic predicate: True,
+// False or Unknown. SQL's WHERE/ON clauses keep a tuple only when the
+// predicate is True, so Unknown behaves like False for filtering —
+// exactly the "null in-tolerant" behaviour the paper assumes.
+type Tristate uint8
+
+// The three logic values.
+const (
+	Unknown Tristate = iota
+	False
+	True
+)
+
+// String returns "true", "false" or "unknown".
+func (t Tristate) String() string {
+	switch t {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	default:
+		return "unknown"
+	}
+}
+
+// FromBool lifts a Go bool into a Tristate.
+func FromBool(b bool) Tristate {
+	if b {
+		return True
+	}
+	return False
+}
+
+// And is three-valued conjunction.
+func (t Tristate) And(o Tristate) Tristate {
+	if t == False || o == False {
+		return False
+	}
+	if t == True && o == True {
+		return True
+	}
+	return Unknown
+}
+
+// Or is three-valued disjunction.
+func (t Tristate) Or(o Tristate) Tristate {
+	if t == True || o == True {
+		return True
+	}
+	if t == False && o == False {
+		return False
+	}
+	return Unknown
+}
+
+// Not is three-valued negation.
+func (t Tristate) Not() Tristate {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// Holds reports whether the tristate is True; Unknown filters out.
+func (t Tristate) Holds() bool { return t == True }
+
+// Compare orders two non-NULL values. It returns (-1|0|+1, true) when
+// the values are comparable and (0, false) otherwise (either side
+// NULL, or incompatible kinds). INT and FLOAT are mutually
+// comparable; STRING compares lexicographically; BOOL orders false <
+// true.
+func Compare(a, b Value) (int, bool) {
+	if a.kind == KindNull || b.kind == KindNull {
+		return 0, false
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1, true
+			case a.i > b.i:
+				return 1, true
+			}
+			return 0, true
+		}
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		}
+		return 0, true
+	}
+	if a.kind != b.kind {
+		return 0, false
+	}
+	switch a.kind {
+	case KindString:
+		switch {
+		case a.s < b.s:
+			return -1, true
+		case a.s > b.s:
+			return 1, true
+		}
+		return 0, true
+	case KindBool:
+		av, bv := 0, 0
+		if a.b {
+			av = 1
+		}
+		if b.b {
+			bv = 1
+		}
+		switch {
+		case av < bv:
+			return -1, true
+		case av > bv:
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// CmpOp is a comparison operator θ ∈ {=, ≠, <, ≤, >, ≥} as used in
+// the paper's predicates.
+type CmpOp uint8
+
+// The comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String renders the operator in SQL syntax.
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(op))
+	}
+}
+
+// Flip returns the operator that gives the same result with swapped
+// operands: a θ b  ⇔  b θ.Flip() a.
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	default: // EQ, NE are symmetric
+		return op
+	}
+}
+
+// Apply evaluates a θ b under three-valued logic. Any NULL operand or
+// kind mismatch yields Unknown, which makes every predicate built on
+// Apply null in-tolerant in the paper's sense (footnote 2).
+func Apply(op CmpOp, a, b Value) Tristate {
+	c, ok := Compare(a, b)
+	if !ok {
+		return Unknown
+	}
+	switch op {
+	case EQ:
+		return FromBool(c == 0)
+	case NE:
+		return FromBool(c != 0)
+	case LT:
+		return FromBool(c < 0)
+	case LE:
+		return FromBool(c <= 0)
+	case GT:
+		return FromBool(c > 0)
+	case GE:
+		return FromBool(c >= 0)
+	}
+	return Unknown
+}
+
+// Equal reports strict equality of two values, with NULL equal to
+// NULL. This is *identity* equality used for grouping, duplicate
+// elimination and set difference (where SQL treats NULLs as
+// identical), not the three-valued `=` predicate.
+func Equal(a, b Value) bool {
+	if a.kind != b.kind {
+		// INT/FLOAT with the same numeric value are still distinct
+		// identities only if their numeric values differ.
+		if a.IsNumeric() && b.IsNumeric() {
+			return a.Float() == b.Float()
+		}
+		return false
+	}
+	switch a.kind {
+	case KindNull:
+		return true
+	case KindInt:
+		return a.i == b.i
+	case KindFloat:
+		return a.f == b.f
+	case KindString:
+		return a.s == b.s
+	case KindBool:
+		return a.b == b.b
+	}
+	return false
+}
+
+// Key returns a string that is equal for exactly the values that
+// Equal treats as identical. It is used as a map key for grouping and
+// set operations.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "n"
+	case KindInt:
+		return "i" + strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		f := v.f
+		if f >= -1e15 && f <= 1e15 && f == float64(int64(f)) {
+			// Keep INT and FLOAT with the same numeric value in the
+			// same group, matching Equal.
+			return "i" + strconv.FormatInt(int64(f), 10)
+		}
+		return "f" + strconv.FormatFloat(f, 'g', -1, 64)
+	case KindString:
+		return "s" + v.s
+	case KindBool:
+		if v.b {
+			return "bt"
+		}
+		return "bf"
+	}
+	return "?"
+}

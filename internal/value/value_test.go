@@ -1,0 +1,210 @@
+package value
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genValue draws a random value, including NULLs, for property tests.
+func genValue(rng *rand.Rand) Value {
+	switch rng.Intn(5) {
+	case 0:
+		return Null
+	case 1:
+		return NewInt(int64(rng.Intn(7) - 3))
+	case 2:
+		return NewFloat(float64(rng.Intn(7)-3) / 2)
+	case 3:
+		return NewString(string(rune('a' + rng.Intn(4))))
+	default:
+		return NewBool(rng.Intn(2) == 0)
+	}
+}
+
+// Generate implements quick.Generator.
+func (Value) Generate(rng *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(genValue(rng))
+}
+
+func TestKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null, KindNull, "-"},
+		{NewInt(42), KindInt, "42"},
+		{NewFloat(2.5), KindFloat, "2.5"},
+		{NewString("x"), KindString, "x"},
+		{NewBool(true), KindBool, "true"},
+		{NewBool(false), KindBool, "false"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("%v string = %q, want %q", c.v, c.v.String(), c.str)
+		}
+	}
+	if !Null.IsNull() || NewInt(0).IsNull() {
+		t.Error("IsNull wrong")
+	}
+	if KindFloat.String() != "FLOAT" || Kind(99).String() == "" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestAccessorsPanic(t *testing.T) {
+	assertPanics := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		f()
+	}
+	assertPanics(func() { Null.Int() })
+	assertPanics(func() { NewInt(1).Str() })
+	assertPanics(func() { NewString("x").Float() })
+	assertPanics(func() { NewInt(1).Bool() })
+}
+
+func TestCompareMixedNumeric(t *testing.T) {
+	if c, ok := Compare(NewInt(2), NewFloat(2.0)); !ok || c != 0 {
+		t.Errorf("2 vs 2.0: %d %v", c, ok)
+	}
+	if c, ok := Compare(NewInt(2), NewFloat(2.5)); !ok || c != -1 {
+		t.Errorf("2 vs 2.5: %d %v", c, ok)
+	}
+	if _, ok := Compare(NewInt(1), NewString("1")); ok {
+		t.Error("int vs string should be incomparable")
+	}
+	if _, ok := Compare(Null, NewInt(1)); ok {
+		t.Error("NULL comparisons must fail")
+	}
+	if c, ok := Compare(NewBool(false), NewBool(true)); !ok || c != -1 {
+		t.Errorf("false < true: %d %v", c, ok)
+	}
+	if c, ok := Compare(NewString("a"), NewString("b")); !ok || c != -1 {
+		t.Errorf("string compare: %d %v", c, ok)
+	}
+}
+
+// TestApplyNullIntolerant pins footnote 2: every operator yields
+// Unknown on NULL operands.
+func TestApplyNullIntolerant(t *testing.T) {
+	for _, op := range []CmpOp{EQ, NE, LT, LE, GT, GE} {
+		if got := Apply(op, Null, NewInt(1)); got != Unknown {
+			t.Errorf("Apply(%v, NULL, 1) = %v", op, got)
+		}
+		if got := Apply(op, NewInt(1), Null); got != Unknown {
+			t.Errorf("Apply(%v, 1, NULL) = %v", op, got)
+		}
+	}
+}
+
+func TestApplyOps(t *testing.T) {
+	a, b := NewInt(1), NewInt(2)
+	cases := map[CmpOp]Tristate{EQ: False, NE: True, LT: True, LE: True, GT: False, GE: False}
+	for op, want := range cases {
+		if got := Apply(op, a, b); got != want {
+			t.Errorf("1 %v 2 = %v, want %v", op, got, want)
+		}
+	}
+}
+
+// TestFlipProperty: a θ b == b θ.Flip() a for all values and ops.
+func TestFlipProperty(t *testing.T) {
+	f := func(a, b Value) bool {
+		for _, op := range []CmpOp{EQ, NE, LT, LE, GT, GE} {
+			if Apply(op, a, b) != Apply(op.Flip(), b, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTristateLaws checks commutativity, identity and De Morgan for
+// three-valued logic by exhaustion.
+func TestTristateLaws(t *testing.T) {
+	all := []Tristate{True, False, Unknown}
+	for _, a := range all {
+		for _, b := range all {
+			if a.And(b) != b.And(a) {
+				t.Errorf("And not commutative at %v,%v", a, b)
+			}
+			if a.Or(b) != b.Or(a) {
+				t.Errorf("Or not commutative at %v,%v", a, b)
+			}
+			if a.And(b).Not() != a.Not().Or(b.Not()) {
+				t.Errorf("De Morgan (and) fails at %v,%v", a, b)
+			}
+			if a.Or(b).Not() != a.Not().And(b.Not()) {
+				t.Errorf("De Morgan (or) fails at %v,%v", a, b)
+			}
+		}
+		if a.And(True) != a || a.Or(False) != a {
+			t.Errorf("identity laws fail at %v", a)
+		}
+		if a.And(False) != False || a.Or(True) != True {
+			t.Errorf("absorbing laws fail at %v", a)
+		}
+		if a.Not().Not() != a {
+			t.Errorf("double negation fails at %v", a)
+		}
+	}
+	if !True.Holds() || False.Holds() || Unknown.Holds() {
+		t.Error("Holds wrong")
+	}
+	if FromBool(true) != True || FromBool(false) != False {
+		t.Error("FromBool wrong")
+	}
+}
+
+// TestKeyEqualConsistency: Equal(a,b) iff Key(a) == Key(b).
+func TestKeyEqualConsistency(t *testing.T) {
+	f := func(a, b Value) bool {
+		return Equal(a, b) == (a.Key() == b.Key())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualNullIdentity(t *testing.T) {
+	if !Equal(Null, Null) {
+		t.Error("NULL must be identical to NULL for grouping")
+	}
+	if Equal(Null, NewInt(0)) {
+		t.Error("NULL != 0")
+	}
+	if !Equal(NewInt(3), NewFloat(3)) {
+		t.Error("numerically equal int/float group together")
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	want := map[CmpOp]string{EQ: "=", NE: "<>", LT: "<", LE: "<=", GT: ">", GE: ">="}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%v string = %q", op, op.String())
+		}
+	}
+}
+
+func TestGoString(t *testing.T) {
+	if NewString("a b").GoString() != `"a b"` {
+		t.Errorf("GoString = %q", NewString("a b").GoString())
+	}
+	if NewInt(3).GoString() != "3" {
+		t.Errorf("GoString = %q", NewInt(3).GoString())
+	}
+}
