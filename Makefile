@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race smoke bench clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector (the executor has a parallel
+# probe and obs is updated concurrently).
+race:
+	$(GO) test -race ./...
+
+# Quick observability smoke: the concurrent registry/tracer tests.
+smoke:
+	$(GO) test -run TestObs -race ./internal/obs/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

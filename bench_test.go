@@ -12,6 +12,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/executor"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/stats"
@@ -298,6 +299,95 @@ func BenchmarkExecutorStrategies(b *testing.B) {
 			if _, err := executor.RunParallel(q, db, 0); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// --- observability benchmarks ----------------------------------------
+
+// BenchmarkInstrumentationOverhead prices the per-operator probes: the
+// same supplier plan through the plain and the instrumented executor.
+func BenchmarkInstrumentationOverhead(b *testing.B) {
+	db := datagen.Supplier(datagen.DefaultSupplierConfig)
+	q := datagen.SupplierQuery()
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := executor.Run(q, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := executor.RunInstrumented(q, db, reg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExplainAnalyzeReport measures the full EXPLAIN ANALYZE
+// pipeline and surfaces its machine-readable dump as benchmark
+// metrics: the decoded JSON report drives ReportMetric, so `go test
+// -bench` prints actual cardinalities and optimizer counters next to
+// the timings.
+func BenchmarkExplainAnalyzeReport(b *testing.B) {
+	db := datagen.Supplier(datagen.DefaultSupplierConfig)
+	q := datagen.SupplierQuery()
+	var data []byte
+	for i := 0; i < b.N; i++ {
+		rep, err := ExplainAnalyze(q, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err = rep.JSON()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	rep, err := DecodeAnalyzeReport(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(rep.RowsOut), "rows_out")
+	b.ReportMetric(float64(rep.Considered), "plans")
+	b.ReportMetric(float64(rep.Metrics.Counters["executor.residual_evals"]), "residual_evals")
+	for _, p := range rep.Phases {
+		if p.Name == "saturate" {
+			b.ReportMetric(float64(p.Ns), "saturate_ns")
+		}
+	}
+}
+
+// BenchmarkObsPrimitives prices the registry's hot paths, the numbers
+// that justify leaving the counters on in the default executor.
+func BenchmarkObsPrimitives(b *testing.B) {
+	b.Run("counter", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		c := reg.Counter("bench.counter")
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("histogram", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		h := reg.Histogram("bench.histogram")
+		b.RunParallel(func(pb *testing.PB) {
+			i := int64(0)
+			for pb.Next() {
+				i++
+				h.Observe(i)
+			}
+		})
+	})
+	b.Run("registry-lookup", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		reg.Counter("bench.lookup")
+		for i := 0; i < b.N; i++ {
+			reg.Counter("bench.lookup").Inc()
 		}
 	})
 }

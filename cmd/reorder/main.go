@@ -6,7 +6,14 @@
 //
 //	reorder -query "select ... from ..."          # optimize a query
 //	reorder -demo supplier                        # run the Example 1.1 demo
+//	reorder -demo supplier -stats                 # EXPLAIN ANALYZE the demo query
 //	reorder -demo q4                              # show Figure 1's hypergraph & trees
+//
+// -stats executes the chosen plan through the instrumented executor
+// and prints an EXPLAIN ANALYZE report: per-operator actual vs
+// estimated rows and timings, optimizer phase wall times and rule
+// firing counters. -trace prints the span tree of the run, and
+// -statsjson dumps the whole report as machine-readable JSON.
 //
 // The tool is deliberately self-contained: the workload is generated
 // in memory, so every invocation is reproducible.
@@ -15,6 +22,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"os"
 
 	reorder "repro"
@@ -28,75 +37,182 @@ import (
 )
 
 func main() {
-	query := flag.String("query", "", "SQL query to optimize against the supplier workload")
-	dataDir := flag.String("data", "", "directory of .csv files to use as the database instead of the supplier workload")
-	demo := flag.String("demo", "", "built-in demo: supplier | q4 | query2")
-	baseline := flag.Bool("baseline", false, "also show the pre-paper baseline optimizer's choice")
-	rows := flag.Bool("rows", false, "execute the chosen plan and print its result")
-	dot := flag.Bool("dot", false, "emit the chosen plan as Graphviz DOT instead of text")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// options are the parsed command-line flags; run threads them through
+// the demo and query paths.
+type options struct {
+	query     string
+	dataDir   string
+	demo      string
+	baseline  bool
+	rows      bool
+	dot       bool
+	stats     bool
+	trace     bool
+	statsJSON bool
+}
+
+func (o options) wantAnalyze() bool { return o.stats || o.trace || o.statsJSON }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reorder", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.query, "query", "", "SQL query to optimize against the supplier workload")
+	fs.StringVar(&o.dataDir, "data", "", "directory of .csv files to use as the database instead of the supplier workload")
+	fs.StringVar(&o.demo, "demo", "", "built-in demo: supplier | q4 | query2")
+	fs.BoolVar(&o.baseline, "baseline", false, "also show the pre-paper baseline optimizer's choice")
+	fs.BoolVar(&o.rows, "rows", false, "execute the chosen plan and print its result")
+	fs.BoolVar(&o.dot, "dot", false, "emit the chosen plan as Graphviz DOT instead of text")
+	fs.BoolVar(&o.stats, "stats", false, "execute instrumented and print an EXPLAIN ANALYZE report")
+	fs.BoolVar(&o.trace, "trace", false, "print the optimizer/executor span trace")
+	fs.BoolVar(&o.statsJSON, "statsjson", false, "dump the EXPLAIN ANALYZE report as JSON")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: reorder -query <sql> | -demo <supplier|q4|query2> [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	db := datagen.Supplier(datagen.DefaultSupplierConfig)
-	if *dataDir != "" {
-		loaded, err := reorder.LoadCSVDir(*dataDir)
-		exitOn(err)
+	if o.dataDir != "" {
+		loaded, err := reorder.LoadCSVDir(o.dataDir)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
 		db = loaded
 	}
 
-	switch {
-	case *demo == "q4":
-		out, err := experiments.Run("e2")
-		exitOn(err)
-		fmt.Println(out)
-		out, err = experiments.Run("e3")
-		exitOn(err)
-		fmt.Println(out)
-		return
-	case *demo == "query2":
-		out, err := experiments.Run("e9")
-		exitOn(err)
-		fmt.Println(out)
-		return
-	case *demo == "supplier":
-		out, err := experiments.Run("e7")
-		exitOn(err)
-		fmt.Println(out)
-		return
-	case *query == "":
-		fmt.Fprintln(os.Stderr, "provide -query or -demo (supplier | q4 | query2)")
-		os.Exit(2)
+	if o.demo != "" {
+		return runDemo(o, db, stdout, stderr)
+	}
+	if o.query == "" {
+		fmt.Fprintln(stderr, "reorder: provide -query or -demo (supplier | q4 | query2)")
+		fs.Usage()
+		return 2
 	}
 
-	node, err := sql.ParseAndLower(*query, db)
-	exitOn(err)
-	fmt.Println("query plan as written:")
-	fmt.Println(plan.Indent(node))
+	node, err := sql.ParseAndLower(o.query, db)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "query plan as written:")
+	fmt.Fprintln(stdout, plan.Indent(node))
 
 	est := stats.NewEstimator(stats.FromDatabase(db))
 	res, err := optimizer.New(est).Optimize(node, db)
-	exitOn(err)
-	fmt.Println(optimizer.Explain(res))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintln(stdout, optimizer.Explain(res))
 
-	if *baseline {
+	if o.baseline {
 		base, err := optimizer.NewBaseline(est).Optimize(node, db)
-		exitOn(err)
-		fmt.Printf("baseline (no generalized selection): %d plans, best cost %.1f\n",
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "baseline (no generalized selection): %d plans, best cost %.1f\n",
 			base.Considered, base.Best.Cost)
 	}
-	if *dot {
-		fmt.Println(plan.DOT(res.Best.Plan))
+	if o.dot {
+		fmt.Fprintln(stdout, plan.DOT(res.Best.Plan))
 	}
-	if *rows {
+	if o.rows {
 		out, err := res.Best.Plan.Eval(db)
-		exitOn(err)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
 		out.SortForDisplay()
-		fmt.Println(out)
+		fmt.Fprintln(stdout, out)
+	}
+	if o.wantAnalyze() {
+		return analyze(node, db, o, stdout, stderr)
+	}
+	return 0
+}
+
+// runDemo dispatches a named demo. Without analysis flags it prints
+// the matching experiment write-up; with them it runs the demo's
+// query through ExplainAnalyze on the demo's database.
+func runDemo(o options, db reorder.Database, stdout, stderr io.Writer) int {
+	var ids []string
+	var node reorder.Node
+	switch o.demo {
+	case "q4":
+		ids = []string{"e2", "e3"}
+	case "query2":
+		ids = []string{"e9"}
+		node = experiments.Query2()
+		db = query2DB()
+	case "supplier":
+		ids = []string{"e7"}
+		node = datagen.SupplierQuery()
+		if o.dataDir == "" {
+			db = datagen.Supplier(datagen.DefaultSupplierConfig)
+		}
+	default:
+		fmt.Fprintf(stderr, "reorder: unknown demo %q (have supplier, q4, query2)\n", o.demo)
+		return 2
+	}
+	if o.wantAnalyze() {
+		if node == nil {
+			fmt.Fprintf(stderr, "reorder: demo %q has no executable database; -stats/-trace/-statsjson need supplier or query2\n", o.demo)
+			return 2
+		}
+		return analyze(node, db, o, stdout, stderr)
+	}
+	for _, id := range ids {
+		out, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintln(stdout, out)
+	}
+	return 0
+}
+
+// query2DB is the skewed three-relation database experiment E9 uses
+// for Query 2.
+func query2DB() reorder.Database {
+	rng := rand.New(rand.NewSource(9))
+	return reorder.Database{
+		"r1": datagen.Uniform(rng, "r1", datagen.UniformConfig{Rows: 2000, Domain: 40}),
+		"r2": datagen.Uniform(rng, "r2", datagen.UniformConfig{Rows: 100, Domain: 40}),
+		"r3": datagen.Uniform(rng, "r3", datagen.UniformConfig{Rows: 100, Domain: 40}),
 	}
 }
 
-func exitOn(err error) {
+// analyze optimizes node, executes it instrumented and prints the
+// requested views of the report.
+func analyze(node reorder.Node, db reorder.Database, o options, stdout, stderr io.Writer) int {
+	rep, err := reorder.ExplainAnalyze(node, db)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
+	if o.stats {
+		fmt.Fprintln(stdout, rep.String())
+	}
+	if o.trace {
+		fmt.Fprintln(stdout, rep.Trace())
+	}
+	if o.statsJSON {
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		stdout.Write(data)
+		fmt.Fprintln(stdout)
+	}
+	return 0
 }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestRunNoArgsExitsNonZero: neither -query nor -demo must fail with
+// a usage message, not silently run a default.
+func TestRunNoArgsExitsNonZero(t *testing.T) {
+	code, _, stderr := runCapture(t)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	for _, want := range []string{"provide -query or -demo", "usage: reorder"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+func TestRunUnknownDemo(t *testing.T) {
+	code, _, stderr := runCapture(t, "-demo", "nope")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown demo "nope"`) {
+		t.Errorf("stderr: %s", stderr)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	code, _, _ := runCapture(t, "-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestRunSupplierStats is the CLI acceptance path: -demo supplier
+// -stats prints an EXPLAIN ANALYZE plan with per-operator actual
+// rows, timings and the optimizer's phase and rule counters.
+func TestRunSupplierStats(t *testing.T) {
+	code, stdout, stderr := runCapture(t, "-demo", "supplier", "-stats")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"EXPLAIN ANALYZE",
+		"actual rows=",
+		"time=",
+		"optimizer phases:",
+		"saturate",
+		"optimizer.rule_applied",
+		"executor.op.scan",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q", want)
+		}
+	}
+}
+
+func TestRunSupplierTrace(t *testing.T) {
+	code, stdout, stderr := runCapture(t, "-demo", "supplier", "-trace")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"optimize", "saturate", "execute"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("trace missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestRunStatsJSON: -statsjson emits a parseable report whose plan
+// tree carries actual-row annotations.
+func TestRunStatsJSON(t *testing.T) {
+	code, stdout, stderr := runCapture(t, "-demo", "supplier", "-statsjson")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	var rep struct {
+		RowsOut  int             `json:"rowsOut"`
+		Phases   []any           `json:"phases"`
+		PlanTree json.RawMessage `json:"planTree"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(rep.Phases) == 0 {
+		t.Error("report has no optimizer phases")
+	}
+	if !strings.Contains(string(rep.PlanTree), `"actual"`) {
+		t.Error("plan tree has no actual-row annotations")
+	}
+}
+
+func TestRunQueryPathWithStats(t *testing.T) {
+	code, stdout, stderr := runCapture(t,
+		"-query", "select sup_detail.supkey from sup_detail where sup_detail.suprating = 'BANKRUPT'",
+		"-stats")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "best plan") {
+		t.Error("missing optimizer explanation")
+	}
+	if !strings.Contains(stdout, "EXPLAIN ANALYZE") {
+		t.Error("missing EXPLAIN ANALYZE report")
+	}
+}
+
+func TestRunDemoQ4RejectsStats(t *testing.T) {
+	code, _, stderr := runCapture(t, "-demo", "q4", "-stats")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "no executable database") {
+		t.Errorf("stderr: %s", stderr)
+	}
+}

@@ -1,0 +1,154 @@
+// EXPLAIN ANALYZE: optimize a query, execute the chosen plan through
+// the instrumented executor, and bundle the annotated plan, optimizer
+// counters and phase trace into one report that renders as text and
+// round-trips through JSON (the machine-readable dump cmd/reorder
+// -statsjson emits and the benchmarks consume).
+package reorder
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/obs"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// PhaseNs is one optimizer phase's wall time in the JSON report.
+type PhaseNs struct {
+	Name string `json:"name"`
+	Ns   int64  `json:"ns"`
+}
+
+// AnalyzeReport is the result of ExplainAnalyze: the chosen plan with
+// per-operator actual-vs-estimated row counts and timings, the
+// optimizer's enumeration counters and phase timings, and the
+// aggregate metrics registry of the run.
+type AnalyzeReport struct {
+	Query        string             `json:"query"`    // the query as written (canonical plan string)
+	BestPlan     string             `json:"bestPlan"` // the chosen plan (canonical plan string)
+	Considered   int                `json:"considered"`
+	OriginalCost float64            `json:"originalCost"`
+	BestCost     float64            `json:"bestCost"`
+	RowsOut      int                `json:"rowsOut"`
+	Phases       []PhaseNs          `json:"phases,omitempty"`
+	RuleFirings  map[string]int     `json:"ruleFirings,omitempty"`
+	Metrics      obs.Snapshot       `json:"metrics"`
+	Spans        []obs.SpanSnapshot `json:"spans,omitempty"`
+	PlanTree     json.RawMessage    `json:"planTree"` // annotated plan (plan.EncodeJSONAnnotated)
+
+	node plan.Node
+	ann  plan.Annotations
+}
+
+// ExplainAnalyze optimizes q, executes the chosen plan with the
+// instrumented executor, and attaches estimated row counts from the
+// same statistics the optimizer ranked with — making
+// estimated-vs-actual cardinality errors visible per operator. The
+// run uses a private registry and tracer, so concurrent callers do
+// not mix metrics.
+func ExplainAnalyze(q Node, db Database) (*AnalyzeReport, error) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	est := stats.NewEstimator(stats.FromDatabase(db))
+	opt := optimizer.New(est)
+	opt.Opts.Obs = reg
+	opt.Opts.Tracer = tracer
+	res, err := opt.Optimize(q, db)
+	if err != nil {
+		return nil, err
+	}
+
+	execSpan := tracer.Start("execute")
+	out, ann, err := executor.RunInstrumented(res.Best.Plan, db, reg)
+	execSpan.End()
+	if err != nil {
+		return nil, err
+	}
+	execSpan.Annotate("rows=%d", out.Len())
+
+	// Attach the optimizer's estimates so every operator line shows
+	// actual vs estimated cardinality.
+	plan.Walk(res.Best.Plan, func(n plan.Node) {
+		if a := ann[n]; a != nil {
+			if rows, err := est.Rows(n); err == nil {
+				a.EstRows = rows
+			}
+		}
+	})
+
+	tree, err := plan.EncodeJSONAnnotated(res.Best.Plan, ann)
+	if err != nil {
+		return nil, err
+	}
+	r := &AnalyzeReport{
+		Query:        q.String(),
+		BestPlan:     res.Best.Plan.String(),
+		Considered:   res.Considered,
+		OriginalCost: res.Original.Cost,
+		BestCost:     res.Best.Cost,
+		RowsOut:      out.Len(),
+		RuleFirings:  res.RuleFirings,
+		Metrics:      reg.Snapshot(),
+		Spans:        tracer.Snapshot(),
+		PlanTree:     tree,
+		node:         res.Best.Plan,
+		ann:          ann,
+	}
+	for _, p := range res.Phases {
+		r.Phases = append(r.Phases, PhaseNs{Name: p.Name, Ns: p.Elapsed.Nanoseconds()})
+	}
+	return r, nil
+}
+
+// JSON serializes the report; DecodeAnalyzeReport inverts it.
+func (r *AnalyzeReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// DecodeAnalyzeReport deserializes a report produced by JSON,
+// reconstructing the annotated plan tree for rendering.
+func DecodeAnalyzeReport(data []byte) (*AnalyzeReport, error) {
+	var r AnalyzeReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	node, ann, err := plan.DecodeJSONAnnotated(r.PlanTree)
+	if err != nil {
+		return nil, fmt.Errorf("reorder: decoding annotated plan: %w", err)
+	}
+	r.node, r.ann = node, ann
+	return &r, nil
+}
+
+// Plan returns the chosen plan and its per-operator annotations.
+func (r *AnalyzeReport) Plan() (Node, plan.Annotations) { return r.node, r.ann }
+
+// String renders the report in the EXPLAIN ANALYZE style: header,
+// annotated operator tree, phase timings and the run's counters.
+func (r *AnalyzeReport) String() string {
+	var b strings.Builder
+	b.WriteString("EXPLAIN ANALYZE\n")
+	fmt.Fprintf(&b, "plans considered: %d\n", r.Considered)
+	fmt.Fprintf(&b, "original cost:    %.1f\n", r.OriginalCost)
+	fmt.Fprintf(&b, "best cost:        %.1f\n", r.BestCost)
+	fmt.Fprintf(&b, "rows returned:    %d\n", r.RowsOut)
+	if len(r.Phases) > 0 {
+		parts := make([]string, len(r.Phases))
+		for i, p := range r.Phases {
+			parts[i] = fmt.Sprintf("%s %s", p.Name, time.Duration(p.Ns).Round(time.Microsecond))
+		}
+		fmt.Fprintf(&b, "optimizer phases: %s\n", strings.Join(parts, ", "))
+	}
+	b.WriteString("\n")
+	b.WriteString(plan.IndentAnnotated(r.node, r.ann))
+	b.WriteString("\ncounters:\n")
+	b.WriteString(r.Metrics.String())
+	return b.String()
+}
+
+// Trace renders the span tree of the run (optimizer phases plus
+// execution), the -trace output.
+func (r *AnalyzeReport) Trace() string { return obs.RenderSpans(r.Spans) }

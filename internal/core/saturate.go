@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -12,6 +13,12 @@ type SaturateOptions struct {
 	Rules []Rule
 	// MaxPlans caps the equivalence class size (0 means 100000).
 	MaxPlans int
+	// Obs, when non-nil, receives enumeration counters:
+	// optimizer.rule_applied.<rule> (every identity firing),
+	// optimizer.rule_admitted.<rule> (firings yielding a new plan),
+	// optimizer.dedup_hits (firings deduplicated away),
+	// optimizer.plans_admitted and optimizer.enumeration_capped.
+	Obs *obs.Registry
 }
 
 // Derivation records how a plan entered the closure: the canonical
@@ -53,20 +60,34 @@ func SaturateTraced(root plan.Node, opts SaturateOptions) ([]plan.Node, map[stri
 	trace := make(map[string]Derivation)
 	out := []plan.Node{root}
 	queue := []plan.Node{root}
+	reg := opts.Obs // nil disables enumeration accounting
 	for len(queue) > 0 && len(out) < maxPlans {
 		cur := queue[0]
 		curKey := cur.String()
 		queue = queue[1:]
 		for _, alt := range alternatives(cur, rules) {
+			if reg != nil {
+				reg.Counter("optimizer.rule_applied." + alt.rule).Inc()
+			}
 			key := alt.plan.String()
 			if seen[key] {
+				if reg != nil {
+					reg.Counter("optimizer.dedup_hits").Inc()
+				}
 				continue
 			}
 			seen[key] = true
 			trace[key] = Derivation{Parent: curKey, Rule: alt.rule}
 			out = append(out, alt.plan)
 			queue = append(queue, alt.plan)
+			if reg != nil {
+				reg.Counter("optimizer.rule_admitted." + alt.rule).Inc()
+				reg.Counter("optimizer.plans_admitted").Inc()
+			}
 			if len(out) >= maxPlans {
+				if reg != nil {
+					reg.Counter("optimizer.enumeration_capped").Inc()
+				}
 				break
 			}
 		}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/schema"
@@ -139,15 +140,37 @@ func hashKey(t relation.Tuple, idx []int) (string, bool) {
 	return b.String(), true
 }
 
+// joinProbe collects the physical counters of one join execution for
+// EXPLAIN ANALYZE; a nil probe disables collection (the registry
+// fallback accounting always runs).
+type joinProbe struct {
+	BuildRows     int  // tuples hashed on the build (right) side
+	ResidualEvals int  // residual/loop predicate evaluations
+	NullPadded    int  // NULL-padded rows emitted for outer kinds
+	NestedLoop    bool // true when no equi conjunct was hashable
+}
+
 // JoinExec joins two materialized relations with the given kind and
 // predicate, using a hash join when an equality conjunct exists and a
 // nested loop otherwise.
 func JoinExec(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation) (*relation.Relation, error) {
+	return joinExecProbe(kind, pred, l, r, nil)
+}
+
+func joinExecProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, st *joinProbe) (*relation.Relation, error) {
 	ls, rs := l.Schema(), r.Schema()
 	out := relation.New(ls.Concat(rs))
 	keys, residual := splitEqui(pred, ls, rs)
 	if len(keys) == 0 {
-		return nestedLoop(kind, pred, l, r, out), nil
+		// No hashable equi conjunct: record which predicate forced the
+		// quadratic fallback so misclassified equi joins are visible.
+		reg := obs.Default()
+		reg.Counter("executor.nested_loop_fallback").Inc()
+		reg.Counter("executor.nested_loop_fallback[" + pred.String() + "]").Inc()
+		if st != nil {
+			st.NestedLoop = true
+		}
+		return nestedLoop(kind, pred, l, r, out, st), nil
 	}
 	li := make([]int, len(keys))
 	ri := make([]int, len(keys))
@@ -159,6 +182,9 @@ func JoinExec(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation) (*rel
 	for j, t := range r.Tuples() {
 		if k, ok := hashKey(t, ri); ok {
 			build[k] = append(build[k], j)
+			if st != nil {
+				st.BuildRows++
+			}
 		}
 	}
 	rightMatched := make([]bool, r.Len())
@@ -173,6 +199,9 @@ func JoinExec(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation) (*rel
 				copy(scratch, lt)
 				copy(scratch[nl:], rt)
 				env.Tuple = scratch
+				if st != nil {
+					st.ResidualEvals++
+				}
 				if residual.Eval(env).Holds() {
 					matched = true
 					rightMatched[j] = true
@@ -188,6 +217,9 @@ func JoinExec(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation) (*rel
 			for i := nl; i < nl+nr; i++ {
 				row[i] = value.Null
 			}
+			if st != nil {
+				st.NullPadded++
+			}
 			out.Append(row)
 		}
 	}
@@ -201,6 +233,9 @@ func JoinExec(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation) (*rel
 				row[i] = value.Null
 			}
 			copy(row[nl:], rt)
+			if st != nil {
+				st.NullPadded++
+			}
 			out.Append(row)
 		}
 	}
@@ -208,7 +243,7 @@ func JoinExec(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation) (*rel
 }
 
 // nestedLoop is the fallback join for non-equi predicates.
-func nestedLoop(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, out *relation.Relation) *relation.Relation {
+func nestedLoop(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, out *relation.Relation, st *joinProbe) *relation.Relation {
 	nl, nr := l.Schema().Len(), r.Schema().Len()
 	env := expr.TupleEnv{Schema: out.Schema()}
 	scratch := make(relation.Tuple, nl+nr)
@@ -219,6 +254,9 @@ func nestedLoop(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, out
 		for j, rt := range r.Tuples() {
 			copy(scratch[nl:], rt)
 			env.Tuple = scratch
+			if st != nil {
+				st.ResidualEvals++
+			}
 			if pred.Eval(env).Holds() {
 				matched = true
 				rightMatched[j] = true
@@ -233,6 +271,9 @@ func nestedLoop(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, out
 			for i := nl; i < nl+nr; i++ {
 				row[i] = value.Null
 			}
+			if st != nil {
+				st.NullPadded++
+			}
 			out.Append(row)
 		}
 	}
@@ -246,6 +287,9 @@ func nestedLoop(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, out
 				row[i] = value.Null
 			}
 			copy(row[nl:], rt)
+			if st != nil {
+				st.NullPadded++
+			}
 			out.Append(row)
 		}
 	}
@@ -255,7 +299,11 @@ func nestedLoop(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, out
 // mgojExec executes MGOJ as a hash/nested-loop join followed by
 // preserved-projection padding, mirroring algebra.MGOJ.
 func mgojExec(m *plan.MGOJNode, l, r *relation.Relation) (*relation.Relation, error) {
-	join, err := JoinExec(plan.InnerJoin, m.Pred, l, r)
+	return mgojExecProbe(m, l, r, nil)
+}
+
+func mgojExecProbe(m *plan.MGOJNode, l, r *relation.Relation, st *joinProbe) (*relation.Relation, error) {
+	join, err := joinExecProbe(plan.InnerJoin, m.Pred, l, r, st)
 	if err != nil {
 		return nil, err
 	}
@@ -284,6 +332,9 @@ func mgojExec(m *plan.MGOJNode, l, r *relation.Relation) (*relation.Relation, er
 		kept := join.Project(attrs, true)
 		for _, t := range all.Minus(kept).PadTo(s).Tuples() {
 			if !allNull(t) {
+				if st != nil {
+					st.NullPadded++
+				}
 				out.Append(t)
 			}
 		}

@@ -1,0 +1,149 @@
+package executor
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// RunInstrumented executes the plan like Run while collecting
+// per-operator statistics: output cardinality and inclusive wall
+// time for every node, plus hash-build sizes, residual-predicate
+// evaluations, null-padding counts and nested-loop fallbacks for the
+// binary operators. The figures land in two places — the returned
+// plan.Annotations (keyed by node, for EXPLAIN ANALYZE rendering and
+// the JSON export) and reg's aggregate counters/histograms (nil means
+// obs.Default()).
+func RunInstrumented(n plan.Node, db plan.Database, reg *obs.Registry) (*relation.Relation, plan.Annotations, error) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	ann := plan.Annotations{}
+	out, err := runInstrumented(n, db, reg, ann)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, ann, nil
+}
+
+func runInstrumented(n plan.Node, db plan.Database, reg *obs.Registry, ann plan.Annotations) (*relation.Relation, error) {
+	start := time.Now()
+	a := ann.For(n)
+	var out *relation.Relation
+	var err error
+	switch m := n.(type) {
+	case *plan.Scan:
+		out, err = m.Eval(db)
+	case *materialized:
+		out = m.rel
+	case *plan.Select:
+		var in *relation.Relation
+		if in, err = runInstrumented(m.Input, db, reg, ann); err == nil {
+			out = algebra.Select(m.Pred, in)
+		}
+	case *plan.Project:
+		var in *relation.Relation
+		if in, err = runInstrumented(m.Input, db, reg, ann); err == nil {
+			out = in.Project(m.Attrs, m.Distinct)
+		}
+	case *plan.GroupBy:
+		var in *relation.Relation
+		if in, err = runInstrumented(m.Input, db, reg, ann); err == nil {
+			out = algebra.GroupProject(m.Keys, m.Aggs, in)
+		}
+	case *plan.Sort:
+		var in *relation.Relation
+		if in, err = runInstrumented(m.Input, db, reg, ann); err == nil {
+			out, err = plan.SortRows(in, m.Keys, m.Limit)
+		}
+	case *plan.GenSel:
+		var in *relation.Relation
+		if in, err = runInstrumented(m.Input, db, reg, ann); err == nil {
+			specs := make([]map[string]bool, len(m.Preserved))
+			for i, s := range m.Preserved {
+				specs[i] = s.Set()
+			}
+			out, err = algebra.GenSelect(m.Pred, specs, in)
+		}
+	case *plan.Join:
+		var l, r *relation.Relation
+		if l, err = runInstrumented(m.L, db, reg, ann); err != nil {
+			break
+		}
+		if r, err = runInstrumented(m.R, db, reg, ann); err != nil {
+			break
+		}
+		st := &joinProbe{}
+		out, err = joinExecProbe(m.Kind, m.Pred, l, r, st)
+		recordJoinProbe(a, st, reg)
+	case *plan.MGOJNode:
+		var l, r *relation.Relation
+		if l, err = runInstrumented(m.L, db, reg, ann); err != nil {
+			break
+		}
+		if r, err = runInstrumented(m.R, db, reg, ann); err != nil {
+			break
+		}
+		st := &joinProbe{}
+		out, err = mgojExecProbe(m, l, r, st)
+		recordJoinProbe(a, st, reg)
+	default:
+		err = fmt.Errorf("executor: unsupported node %T", n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	a.Rows = out.Len()
+	a.Elapsed = time.Since(start)
+	op := opName(n)
+	reg.Counter("executor.ops").Inc()
+	reg.Counter("executor.op." + op).Inc()
+	reg.Counter("executor.rows_out").Add(int64(out.Len()))
+	reg.Histogram("executor.op_ns").ObserveDuration(a.Elapsed)
+	reg.Histogram("executor.rows_out." + op).Observe(int64(out.Len()))
+	return out, nil
+}
+
+// recordJoinProbe copies one join's physical counters into the node
+// annotation and the aggregate registry.
+func recordJoinProbe(a *plan.Annotation, st *joinProbe, reg *obs.Registry) {
+	a.AddExtra("hash_build_rows", int64(st.BuildRows))
+	a.AddExtra("residual_evals", int64(st.ResidualEvals))
+	a.AddExtra("null_padded", int64(st.NullPadded))
+	if st.NestedLoop {
+		a.AddExtra("nested_loop", 1)
+	}
+	reg.Counter("executor.hash_build_rows").Add(int64(st.BuildRows))
+	reg.Counter("executor.residual_evals").Add(int64(st.ResidualEvals))
+	reg.Counter("executor.null_padded").Add(int64(st.NullPadded))
+}
+
+// opName returns the stable metric label of a plan operator.
+func opName(n plan.Node) string {
+	switch m := n.(type) {
+	case *plan.Scan:
+		return "scan"
+	case *materialized:
+		return "materialized"
+	case *plan.Select:
+		return "select"
+	case *plan.Project:
+		return "project"
+	case *plan.GroupBy:
+		return "groupby"
+	case *plan.Sort:
+		return "sort"
+	case *plan.GenSel:
+		return "gensel"
+	case *plan.Join:
+		return "join." + m.Kind.String()
+	case *plan.MGOJNode:
+		return "mgoj"
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}

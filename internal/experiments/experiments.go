@@ -28,7 +28,7 @@ import (
 )
 
 // All lists the experiment ids in order.
-var All = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"}
+var All = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"}
 
 // Run dispatches one experiment by id.
 func Run(id string) (string, error) {
@@ -61,6 +61,8 @@ func Run(id string) (string, error) {
 		return E13(), nil
 	case "e14":
 		return E14(), nil
+	case "e15":
+		return E15(), nil
 	default:
 		return "", fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(All, ", "))
 	}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer collects a forest of timed spans. All methods are nil-safe:
+// a nil *Tracer (and the nil *Spans it hands out) swallow every call,
+// so instrumented code paths need no "is tracing on" branches.
+type Tracer struct {
+	mu    sync.Mutex
+	epoch time.Time
+	roots []*Span
+}
+
+// NewTracer returns an empty tracer whose span offsets are relative
+// to now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Span is one timed region, possibly with children and attributes.
+type Span struct {
+	name     string
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	mu       sync.Mutex
+	children []*Span
+	attrs    []string
+	tracer   *Tracer
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{name: name, start: time.Now(), tracer: t}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Child opens a sub-span of s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now(), tracer: s.tracer}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Annotate attaches a formatted note to the span.
+func (s *Span) Annotate(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, fmt.Sprintf(format, args...))
+	s.mu.Unlock()
+}
+
+// End closes the span; further Ends are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// Elapsed returns the span's duration (time since start if still
+// open).
+func (s *Span) Elapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// SpanSnapshot is the serializable form of a span subtree.
+type SpanSnapshot struct {
+	Name     string         `json:"name"`
+	OffsetNs int64          `json:"offsetNs"` // start relative to the tracer epoch
+	DurNs    int64          `json:"durNs"`
+	Notes    []string       `json:"notes,omitempty"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot copies the tracer's span forest.
+func (t *Tracer) Snapshot() []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	epoch := t.epoch
+	t.mu.Unlock()
+	out := make([]SpanSnapshot, len(roots))
+	for i, s := range roots {
+		out[i] = s.snapshot(epoch)
+	}
+	return out
+}
+
+func (s *Span) snapshot(epoch time.Time) SpanSnapshot {
+	s.mu.Lock()
+	snap := SpanSnapshot{
+		Name:     s.name,
+		OffsetNs: s.start.Sub(epoch).Nanoseconds(),
+		DurNs:    s.dur.Nanoseconds(),
+		Notes:    append([]string(nil), s.attrs...),
+	}
+	if !s.ended {
+		snap.DurNs = time.Since(s.start).Nanoseconds()
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.snapshot(epoch))
+	}
+	return snap
+}
+
+// String renders the span forest as an indented tree with durations
+// and each child's share of its parent, the -trace output format.
+func (t *Tracer) String() string {
+	if t == nil {
+		return ""
+	}
+	return RenderSpans(t.Snapshot())
+}
+
+// RenderSpans renders an already-snapshotted span forest; it is what
+// decoded JSON reports use to reproduce -trace output.
+func RenderSpans(spans []SpanSnapshot) string {
+	var b strings.Builder
+	for _, s := range spans {
+		renderSpan(&b, s, 0, s.DurNs)
+	}
+	return b.String()
+}
+
+func renderSpan(b *strings.Builder, s SpanSnapshot, depth int, parentNs int64) {
+	pad := strings.Repeat("  ", depth)
+	share := ""
+	if depth > 0 && parentNs > 0 {
+		share = fmt.Sprintf(" (%.0f%%)", 100*float64(s.DurNs)/float64(parentNs))
+	}
+	fmt.Fprintf(b, "%s%-*s %12s%s\n", pad, 24-2*depth, s.Name, time.Duration(s.DurNs), share)
+	for _, note := range s.Notes {
+		fmt.Fprintf(b, "%s  · %s\n", pad, note)
+	}
+	for _, c := range s.Children {
+		renderSpan(b, c, depth+1, s.DurNs)
+	}
+}

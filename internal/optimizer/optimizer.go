@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/simplify"
 	"repro/internal/stats"
@@ -30,6 +32,12 @@ type Options struct {
 	// PushUpAggregates also seeds the enumeration with
 	// aggregation-pull-up variants of the query (Example 3.1).
 	PushUpAggregates bool
+	// Obs receives the run's metrics (rule firings, dedup hits, plans
+	// enumerated, per-phase wall time); obs.Default() when nil.
+	Obs *obs.Registry
+	// Tracer, when non-nil, collects a span tree of the optimization
+	// phases (simplify, saturate, cost, rank) for -trace output.
+	Tracer *obs.Tracer
 }
 
 // Ranked is one enumerated plan with its estimated cost.
@@ -42,6 +50,12 @@ type Ranked struct {
 	Derivation []string
 }
 
+// PhaseTiming is the wall time of one optimization phase.
+type PhaseTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
 // Result reports an optimization run.
 type Result struct {
 	Best       Ranked
@@ -49,6 +63,13 @@ type Result struct {
 	Considered int
 	// All plans, cheapest first (capped by Options.MaxPlans).
 	Plans []Ranked
+	// Phases reports per-phase wall time in execution order
+	// (simplify, saturate, cost, rank).
+	Phases []PhaseTiming
+	// RuleFirings counts, per identity rule, the plans it admitted
+	// into the equivalence class (each plan credits the final rule of
+	// its derivation).
+	RuleFirings map[string]int
 }
 
 // Optimizer ranks the equivalence class of a query by estimated cost.
@@ -74,6 +95,25 @@ func NewBaseline(est *stats.Estimator) *Optimizer {
 // cheapest plan. The database is needed only for schema resolution of
 // aggregation push-up seeds; pass nil when PushUpAggregates is off.
 func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (*Result, error) {
+	reg := o.Opts.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reg.Counter("optimizer.runs").Inc()
+	root := o.Opts.Tracer.Start("optimize")
+	defer root.End()
+	var phases []PhaseTiming
+	phase := func(name string) func() {
+		sp := root.Child(name)
+		start := time.Now()
+		return func() {
+			d := time.Since(start)
+			sp.End()
+			phases = append(phases, PhaseTiming{Name: name, Elapsed: d})
+			reg.Histogram("optimizer.phase." + name + "_ns").ObserveDuration(d)
+		}
+	}
+
 	maxPlans := o.Opts.MaxPlans
 	if maxPlans <= 0 {
 		maxPlans = 20000
@@ -85,9 +125,12 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (*Result, error) {
 	seeds := []seed{{node: q}}
 	// Outer join simplification first ([BHAR95c]); the paper assumes
 	// simple queries, and downgraded operators reorder more freely.
+	endSimplify := phase("simplify")
 	if s := simplify.Simplify(q); s.String() != q.String() {
 		seeds = append(seeds, seed{node: s, prefix: []string{"simplify-outer-joins"}})
+		reg.Counter("optimizer.simplified_seeds").Inc()
 	}
+	endSimplify()
 	rules := o.Opts.Rules
 	if o.Opts.PushUpAggregates {
 		// Aggregation pull-up participates in the closure itself, so
@@ -98,11 +141,13 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (*Result, error) {
 		}
 		rules = append(append([]core.Rule(nil), rules...), core.PushUpRule(db))
 	}
+	endSaturate := phase("saturate")
 	seen := make(map[string]bool)
 	var all []plan.Node
 	var chains [][]string
+	firings := make(map[string]int)
 	for _, sd := range seeds {
-		plans, trace := core.SaturateTraced(sd.node, core.SaturateOptions{Rules: rules, MaxPlans: maxPlans - len(all)})
+		plans, trace := core.SaturateTraced(sd.node, core.SaturateOptions{Rules: rules, MaxPlans: maxPlans - len(all), Obs: reg})
 		for _, p := range plans {
 			key := p.String()
 			if !seen[key] {
@@ -110,15 +155,22 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (*Result, error) {
 				all = append(all, p)
 				chain := append(append([]string(nil), sd.prefix...), core.DerivationChain(trace, key)...)
 				chains = append(chains, chain)
+				if len(chain) > 0 {
+					firings[chain[len(chain)-1]]++
+				}
 			}
 		}
 		if len(all) >= maxPlans {
 			break
 		}
 	}
+	endSaturate()
+	reg.Counter("optimizer.plans_enumerated").Add(int64(len(all)))
+	reg.Gauge("optimizer.last_considered").Set(int64(len(all)))
 	if len(all) == 0 {
 		return nil, fmt.Errorf("optimizer: no plans enumerated for %s", q)
 	}
+	endCost := phase("cost")
 	ranked := make([]Ranked, 0, len(all))
 	for i, p := range all {
 		cost, err := o.Est.PlanCost(p)
@@ -131,10 +183,16 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (*Result, error) {
 		}
 		ranked = append(ranked, Ranked{Plan: p, Cost: cost, Rows: rows, Derivation: chains[i]})
 	}
-	res := &Result{Considered: len(ranked), Original: ranked[0]}
+	endCost()
+	reg.Counter("optimizer.plans_costed").Add(int64(len(ranked)))
+	endRank := phase("rank")
+	res := &Result{Considered: len(ranked), Original: ranked[0], RuleFirings: firings}
 	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Cost < ranked[j].Cost })
 	res.Plans = ranked
 	res.Best = ranked[0]
+	endRank()
+	res.Phases = phases
+	root.Annotate("plans=%d best=%.1f", res.Considered, res.Best.Cost)
 	return res, nil
 }
 
@@ -149,6 +207,25 @@ func Explain(res *Result) string {
 	}
 	if len(res.Best.Derivation) > 0 {
 		out += "derivation:      " + strings.Join(res.Best.Derivation, " -> ") + "\n"
+	}
+	if len(res.Phases) > 0 {
+		parts := make([]string, len(res.Phases))
+		for i, p := range res.Phases {
+			parts[i] = fmt.Sprintf("%s %s", p.Name, p.Elapsed.Round(time.Microsecond))
+		}
+		out += "phases:          " + strings.Join(parts, ", ") + "\n"
+	}
+	if len(res.RuleFirings) > 0 {
+		rules := make([]string, 0, len(res.RuleFirings))
+		for r := range res.RuleFirings {
+			rules = append(rules, r)
+		}
+		sort.Strings(rules)
+		parts := make([]string, len(rules))
+		for i, r := range rules {
+			parts[i] = fmt.Sprintf("%s×%d", r, res.RuleFirings[r])
+		}
+		out += "rule firings:    " + strings.Join(parts, ", ") + "\n"
 	}
 	out += "best plan:\n" + plan.Indent(res.Best.Plan)
 	return out

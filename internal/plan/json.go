@@ -3,6 +3,7 @@ package plan
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/expr"
@@ -29,6 +30,7 @@ type jsonNode struct {
 	Distinct  bool            `json:"distinct,omitempty"`
 	SortKeys  []jsonSortKey   `json:"sortKeys,omitempty"`
 	Limit     *int            `json:"limit,omitempty"`
+	Actual    *jsonActual     `json:"actual,omitempty"`
 }
 
 type jsonAttr struct {
@@ -49,6 +51,15 @@ type jsonSortKey struct {
 	Desc bool     `json:"desc,omitempty"`
 }
 
+// jsonActual carries a node's EXPLAIN ANALYZE measurements through
+// the JSON encoding; absent on plain plans.
+type jsonActual struct {
+	Rows      int              `json:"rows"`
+	EstRows   float64          `json:"estRows,omitempty"`
+	ElapsedNs int64            `json:"elapsedNs"`
+	Extra     map[string]int64 `json:"extra,omitempty"`
+}
+
 func attrToJSON(a schema.Attribute) jsonAttr {
 	return jsonAttr{Rel: a.Rel, Col: a.Col, Virtual: a.Virtual}
 }
@@ -58,70 +69,91 @@ func attrFromJSON(j jsonAttr) schema.Attribute {
 }
 
 // EncodeJSON serializes a plan.
-func EncodeJSON(n Node) ([]byte, error) {
+func EncodeJSON(n Node) ([]byte, error) { return encodeJSON(n, nil) }
+
+// EncodeJSONAnnotated serializes a plan with each node's EXPLAIN
+// ANALYZE annotation (actual rows, estimated rows, timing, operator
+// counters) attached under the "actual" key. DecodeJSONAnnotated
+// inverts it.
+func EncodeJSONAnnotated(n Node, ann Annotations) ([]byte, error) {
+	return encodeJSON(n, ann)
+}
+
+func encodeJSON(n Node, ann Annotations) ([]byte, error) {
+	j, err := buildJSONNode(n, ann)
+	if err != nil {
+		return nil, err
+	}
+	if a := ann[n]; a != nil {
+		j.Actual = &jsonActual{Rows: a.Rows, EstRows: a.EstRows, ElapsedNs: int64(a.Elapsed), Extra: a.Extra}
+	}
+	return json.Marshal(j)
+}
+
+func buildJSONNode(n Node, ann Annotations) (jsonNode, error) {
 	switch m := n.(type) {
 	case *Scan:
-		return json.Marshal(jsonNode{Op: "scan", Rel: m.Rel, As: m.As})
+		return jsonNode{Op: "scan", Rel: m.Rel, As: m.As}, nil
 	case *Join:
 		pred, err := expr.EncodePred(m.Pred)
 		if err != nil {
-			return nil, err
+			return jsonNode{}, err
 		}
-		l, err := EncodeJSON(m.L)
+		l, err := encodeJSON(m.L, ann)
 		if err != nil {
-			return nil, err
+			return jsonNode{}, err
 		}
-		r, err := EncodeJSON(m.R)
+		r, err := encodeJSON(m.R, ann)
 		if err != nil {
-			return nil, err
+			return jsonNode{}, err
 		}
-		return json.Marshal(jsonNode{Op: "join", Kind: m.Kind.String(), Pred: pred, Left: l, Right: r})
+		return jsonNode{Op: "join", Kind: m.Kind.String(), Pred: pred, Left: l, Right: r}, nil
 	case *Select:
 		pred, err := expr.EncodePred(m.Pred)
 		if err != nil {
-			return nil, err
+			return jsonNode{}, err
 		}
-		in, err := EncodeJSON(m.Input)
+		in, err := encodeJSON(m.Input, ann)
 		if err != nil {
-			return nil, err
+			return jsonNode{}, err
 		}
-		return json.Marshal(jsonNode{Op: "select", Pred: pred, Input: in})
+		return jsonNode{Op: "select", Pred: pred, Input: in}, nil
 	case *GenSel:
 		pred, err := expr.EncodePred(m.Pred)
 		if err != nil {
-			return nil, err
+			return jsonNode{}, err
 		}
-		in, err := EncodeJSON(m.Input)
+		in, err := encodeJSON(m.Input, ann)
 		if err != nil {
-			return nil, err
+			return jsonNode{}, err
 		}
 		specs := make([][]string, len(m.Preserved))
 		for i, s := range m.Preserved {
 			specs[i] = append([]string(nil), s...)
 		}
-		return json.Marshal(jsonNode{Op: "gensel", Pred: pred, Input: in, Preserved: specs})
+		return jsonNode{Op: "gensel", Pred: pred, Input: in, Preserved: specs}, nil
 	case *MGOJNode:
 		pred, err := expr.EncodePred(m.Pred)
 		if err != nil {
-			return nil, err
+			return jsonNode{}, err
 		}
-		l, err := EncodeJSON(m.L)
+		l, err := encodeJSON(m.L, ann)
 		if err != nil {
-			return nil, err
+			return jsonNode{}, err
 		}
-		r, err := EncodeJSON(m.R)
+		r, err := encodeJSON(m.R, ann)
 		if err != nil {
-			return nil, err
+			return jsonNode{}, err
 		}
 		specs := make([][]string, len(m.Preserved))
 		for i, s := range m.Preserved {
 			specs[i] = append([]string(nil), s...)
 		}
-		return json.Marshal(jsonNode{Op: "mgoj", Pred: pred, Left: l, Right: r, Preserved: specs})
+		return jsonNode{Op: "mgoj", Pred: pred, Left: l, Right: r, Preserved: specs}, nil
 	case *GroupBy:
-		in, err := EncodeJSON(m.Input)
+		in, err := encodeJSON(m.Input, ann)
 		if err != nil {
-			return nil, err
+			return jsonNode{}, err
 		}
 		keys := make([]jsonAttr, len(m.Keys))
 		for i, k := range m.Keys {
@@ -133,45 +165,75 @@ func EncodeJSON(n Node) ([]byte, error) {
 			if a.Arg != nil {
 				arg, err := expr.EncodeScalar(a.Arg)
 				if err != nil {
-					return nil, err
+					return jsonNode{}, err
 				}
 				ja.Arg = arg
 			}
 			aggs[i] = ja
 		}
-		return json.Marshal(jsonNode{Op: "groupby", Input: in, Keys: keys, Aggs: aggs})
+		return jsonNode{Op: "groupby", Input: in, Keys: keys, Aggs: aggs}, nil
 	case *Project:
-		in, err := EncodeJSON(m.Input)
+		in, err := encodeJSON(m.Input, ann)
 		if err != nil {
-			return nil, err
+			return jsonNode{}, err
 		}
 		attrs := make([]jsonAttr, len(m.Attrs))
 		for i, a := range m.Attrs {
 			attrs[i] = attrToJSON(a)
 		}
-		return json.Marshal(jsonNode{Op: "project", Input: in, Attrs: attrs, Distinct: m.Distinct})
+		return jsonNode{Op: "project", Input: in, Attrs: attrs, Distinct: m.Distinct}, nil
 	case *Sort:
-		in, err := EncodeJSON(m.Input)
+		in, err := encodeJSON(m.Input, ann)
 		if err != nil {
-			return nil, err
+			return jsonNode{}, err
 		}
 		keys := make([]jsonSortKey, len(m.Keys))
 		for i, k := range m.Keys {
 			keys[i] = jsonSortKey{Attr: attrToJSON(k.Attr), Desc: k.Desc}
 		}
 		limit := m.Limit
-		return json.Marshal(jsonNode{Op: "sort", Input: in, SortKeys: keys, Limit: &limit})
+		return jsonNode{Op: "sort", Input: in, SortKeys: keys, Limit: &limit}, nil
 	default:
-		return nil, fmt.Errorf("plan: cannot encode %T", n)
+		return jsonNode{}, fmt.Errorf("plan: cannot encode %T", n)
 	}
 }
 
 // DecodeJSON deserializes a plan.
-func DecodeJSON(data []byte) (Node, error) {
+func DecodeJSON(data []byte) (Node, error) { return decodeJSON(data, nil) }
+
+// DecodeJSONAnnotated deserializes a plan encoded by
+// EncodeJSONAnnotated, reconstructing the per-node annotations keyed
+// by the freshly decoded nodes.
+func DecodeJSONAnnotated(data []byte) (Node, Annotations, error) {
+	ann := Annotations{}
+	n, err := decodeJSON(data, ann)
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, ann, nil
+}
+
+func decodeJSON(data []byte, ann Annotations) (Node, error) {
 	var j jsonNode
 	if err := json.Unmarshal(data, &j); err != nil {
 		return nil, err
 	}
+	n, err := nodeFromJSON(j, ann)
+	if err != nil {
+		return nil, err
+	}
+	if j.Actual != nil && ann != nil {
+		ann[n] = &Annotation{
+			Rows:    j.Actual.Rows,
+			EstRows: j.Actual.EstRows,
+			Elapsed: time.Duration(j.Actual.ElapsedNs),
+			Extra:   j.Actual.Extra,
+		}
+	}
+	return n, nil
+}
+
+func nodeFromJSON(j jsonNode, ann Annotations) (Node, error) {
 	switch j.Op {
 	case "scan":
 		if j.Rel == "" {
@@ -183,11 +245,11 @@ func DecodeJSON(data []byte) (Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		l, err := DecodeJSON(j.Left)
+		l, err := decodeJSON(j.Left, ann)
 		if err != nil {
 			return nil, err
 		}
-		r, err := DecodeJSON(j.Right)
+		r, err := decodeJSON(j.Right, ann)
 		if err != nil {
 			return nil, err
 		}
@@ -204,7 +266,7 @@ func DecodeJSON(data []byte) (Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		in, err := DecodeJSON(j.Input)
+		in, err := decodeJSON(j.Input, ann)
 		if err != nil {
 			return nil, err
 		}
@@ -213,7 +275,7 @@ func DecodeJSON(data []byte) (Node, error) {
 		}
 		return NewGenSel(pred, specsFromJSON(j.Preserved), in), nil
 	case "groupby":
-		in, err := DecodeJSON(j.Input)
+		in, err := decodeJSON(j.Input, ann)
 		if err != nil {
 			return nil, err
 		}
@@ -239,7 +301,7 @@ func DecodeJSON(data []byte) (Node, error) {
 		}
 		return NewGroupBy(keys, aggs, in), nil
 	case "project":
-		in, err := DecodeJSON(j.Input)
+		in, err := decodeJSON(j.Input, ann)
 		if err != nil {
 			return nil, err
 		}
@@ -249,7 +311,7 @@ func DecodeJSON(data []byte) (Node, error) {
 		}
 		return NewProject(attrs, j.Distinct, in), nil
 	case "sort":
-		in, err := DecodeJSON(j.Input)
+		in, err := decodeJSON(j.Input, ann)
 		if err != nil {
 			return nil, err
 		}
