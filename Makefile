@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race smoke bench clean
+.PHONY: all build vet test race race-par smoke bench bench-all clean
 
 all: vet build test
 
@@ -14,15 +14,30 @@ test:
 	$(GO) test ./...
 
 # Full suite under the race detector (the executor has a parallel
-# probe and obs is updated concurrently).
+# probe, obs is updated concurrently, and saturation/costing run
+# worker pools).
 race:
 	$(GO) test -race ./...
+
+# Focused race run for the parallel optimizer paths: saturation
+# worker-pool equivalence, the fingerprint cache and the shared cost
+# session.
+race-par:
+	$(GO) test -race -run 'TestParallelSaturation|TestSaturateWorkers|TestFingerprintConcurrent|TestSessionConcurrent|TestOptimizeWorkers' \
+		./internal/core/ ./internal/plan/ ./internal/stats/ ./internal/optimizer/
 
 # Quick observability smoke: the concurrent registry/tracer tests.
 smoke:
 	$(GO) test -run TestObs -race ./internal/obs/...
 
+# Benchmark gate: measures saturation (serial vs parallel) and the
+# cost memo, writes BENCH_optimizer.json, and fails if the parallel
+# engine is slower than the serial one on the canned Q5 workload.
 bench:
+	$(GO) run ./cmd/benchopt -out BENCH_optimizer.json
+
+# The full go test benchmark sweep (root experiment benches included).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 clean:

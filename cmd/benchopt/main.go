@@ -1,0 +1,195 @@
+// Command benchopt is the optimizer's benchmark harness: it runs the
+// saturation and costing workloads through testing.Benchmark, compares
+// the serial engine against the parallel one and the memoized cost
+// session against cold estimation, writes the numbers to
+// BENCH_optimizer.json, and exits non-zero if the parallel engine is
+// slower than the serial one on the canned Q5 workload — the
+// regression gate make bench enforces.
+//
+// Usage:
+//
+//	benchopt [-out BENCH_optimizer.json] [-tolerance 1.1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/stats"
+	"repro/internal/value"
+)
+
+// benchResult is one workload's measurement.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	MsPerOp     float64 `json:"msPerOp"`
+}
+
+// seedBaseline is a pre-change measurement kept for comparison.
+type seedBaseline struct {
+	Name        string  `json:"name"`
+	MsPerOp     float64 `json:"msPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	Note        string  `json:"note"`
+}
+
+// report is the BENCH_optimizer.json schema.
+type report struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"goVersion"`
+	// SeedBaselines are the same workloads measured at the pre-change
+	// commit (serial engine, no fingerprint cache, no cost memo).
+	SeedBaselines []seedBaseline `json:"seedBaselines"`
+	Results       []benchResult  `json:"results"`
+	// SpeedupQ5Serial is seed SaturateQ5 ms / current serial ms.
+	SpeedupQ5Serial float64 `json:"speedupQ5Serial"`
+	// SpeedupQ5Parallel is seed SaturateQ5 ms / current parallel ms
+	// (workers = GOMAXPROCS).
+	SpeedupQ5Parallel float64 `json:"speedupQ5Parallel"`
+	// SpeedupCostMemo is cold estimator ms / memoized session ms on
+	// the Q5 closure costing pass.
+	SpeedupCostMemo float64 `json:"speedupCostMemo"`
+}
+
+// Seed numbers measured at the pre-change commit on this container
+// (GOMAXPROCS=1, Intel Xeon 2.10GHz); see BENCH_optimizer.json
+// history.
+var seeds = []seedBaseline{
+	{Name: "SaturateQ5", MsPerOp: 204.7, BytesPerOp: 57400000, AllocsPerOp: 1485045,
+		Note: "serial saturation of Q5 (closure 2752 plans, cap 10000), pre-fingerprint"},
+	{Name: "SaturateChain7", MsPerOp: 609.7, BytesPerOp: 172300000, AllocsPerOp: 4191999,
+		Note: "serial saturation of the 7-relation chain, hits the 10000-plan cap"},
+	{Name: "CostClosure", MsPerOp: 11.79, BytesPerOp: 1600000, AllocsPerOp: 96672,
+		Note: "PlanCost+Rows over all 2752 Q5 closure members, no memo"},
+}
+
+func benchDB() plan.Database {
+	db := plan.Database{}
+	for i := 1; i <= 7; i++ {
+		name := fmt.Sprintf("r%d", i)
+		b := relation.NewBuilder(name, "x", "y")
+		for j := 0; j < 50; j++ {
+			b.Row(value.NewInt(int64(j%9)), value.NewInt(int64(j%6)))
+		}
+		db[name] = b.Relation()
+	}
+	return db
+}
+
+func run(name string, results *[]benchResult, f func(b *testing.B)) benchResult {
+	r := testing.Benchmark(f)
+	res := benchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		MsPerOp:     float64(r.NsPerOp()) / 1e6,
+	}
+	*results = append(*results, res)
+	fmt.Printf("%-28s %4d iter  %10.2f ms/op  %12d B/op  %9d allocs/op\n",
+		name, res.Iterations, res.MsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	return res
+}
+
+func saturateBench(q plan.Node, workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.Saturate(q, core.SaturateOptions{MaxPlans: 10000, Workers: workers})
+		}
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_optimizer.json", "where to write the JSON report")
+	tolerance := flag.Float64("tolerance", 1.10, "max allowed parallel/serial time ratio on Q5 before failing")
+	flag.Parse()
+
+	fmt.Printf("benchopt: GOMAXPROCS=%d %s\n", runtime.GOMAXPROCS(0), runtime.Version())
+	var results []benchResult
+
+	q5 := experiments.Q5()
+	chain := experiments.ChainQuery(7)
+	serialQ5 := run("SaturateQ5/serial", &results, saturateBench(q5, 1))
+	parQ5 := run("SaturateQ5/parallel", &results, saturateBench(q5, -1))
+	run("SaturateChain7/serial", &results, saturateBench(chain, 1))
+	run("SaturateChain7/parallel", &results, saturateBench(chain, -1))
+
+	db := benchDB()
+	est := stats.NewEstimator(stats.FromDatabase(db))
+	closure := core.Saturate(q5, core.SaturateOptions{MaxPlans: 10000})
+	costCold := run("CostClosure/estimator", &results, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range closure {
+				if _, err := est.PlanCost(p); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := est.Rows(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	costMemo := run("CostClosure/session", &results, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sess := est.NewSession(nil)
+			for _, p := range closure {
+				if _, err := sess.PlanCost(p); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sess.Rows(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	rep := report{
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		GoVersion:         runtime.Version(),
+		SeedBaselines:     seeds,
+		Results:           results,
+		SpeedupQ5Serial:   seeds[0].MsPerOp / serialQ5.MsPerOp,
+		SpeedupQ5Parallel: seeds[0].MsPerOp / parQ5.MsPerOp,
+		SpeedupCostMemo:   costCold.MsPerOp / costMemo.MsPerOp,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchopt:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchopt:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("speedups vs seed: Q5 serial %.2fx, Q5 parallel %.2fx; cost memo %.2fx vs cold\n",
+		rep.SpeedupQ5Serial, rep.SpeedupQ5Parallel, rep.SpeedupCostMemo)
+	fmt.Println("wrote", *out)
+
+	// Regression gate: the parallel engine must not lose to the serial
+	// one on the canned workload (ratio 1.0 ± tolerance; on a 1-CPU
+	// host Workers:GOMAXPROCS resolves to the serial path, so the gate
+	// is exact there and meaningful on multi-core).
+	if ratio := parQ5.MsPerOp / serialQ5.MsPerOp; ratio > *tolerance {
+		fmt.Fprintf(os.Stderr, "benchopt: FAIL parallel SaturateQ5 is %.2fx the serial time (tolerance %.2fx)\n",
+			ratio, *tolerance)
+		os.Exit(1)
+	}
+}

@@ -14,6 +14,8 @@
 // estimated rows and timings, optimizer phase wall times and rule
 // firing counters. -trace prints the span tree of the run, and
 // -statsjson dumps the whole report as machine-readable JSON.
+// -workers spreads plan enumeration and costing over N goroutines
+// (default GOMAXPROCS); the chosen plan is identical for any value.
 //
 // The tool is deliberately self-contained: the workload is generated
 // in memory, so every invocation is reproducible.
@@ -25,6 +27,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 
 	reorder "repro"
 
@@ -52,6 +55,7 @@ type options struct {
 	stats     bool
 	trace     bool
 	statsJSON bool
+	workers   int
 }
 
 func (o options) wantAnalyze() bool { return o.stats || o.trace || o.statsJSON }
@@ -69,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&o.stats, "stats", false, "execute instrumented and print an EXPLAIN ANALYZE report")
 	fs.BoolVar(&o.trace, "trace", false, "print the optimizer/executor span trace")
 	fs.BoolVar(&o.statsJSON, "statsjson", false, "dump the EXPLAIN ANALYZE report as JSON")
+	fs.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "goroutines for plan enumeration and costing (1 = serial; the result is identical for any value)")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: reorder -query <sql> | -demo <supplier|q4|query2> [flags]")
 		fs.PrintDefaults()
@@ -105,7 +110,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintln(stdout, plan.Indent(node))
 
 	est := stats.NewEstimator(stats.FromDatabase(db))
-	res, err := optimizer.New(est).Optimize(node, db)
+	opt := optimizer.New(est)
+	opt.Opts.Workers = o.workers
+	res, err := opt.Optimize(node, db)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -113,7 +120,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintln(stdout, optimizer.Explain(res))
 
 	if o.baseline {
-		base, err := optimizer.NewBaseline(est).Optimize(node, db)
+		bopt := optimizer.NewBaseline(est)
+		bopt.Opts.Workers = o.workers
+		base, err := bopt.Optimize(node, db)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -194,7 +203,7 @@ func query2DB() reorder.Database {
 // analyze optimizes node, executes it instrumented and prints the
 // requested views of the report.
 func analyze(node reorder.Node, db reorder.Database, o options, stdout, stderr io.Writer) int {
-	rep, err := reorder.ExplainAnalyze(node, db)
+	rep, err := reorder.ExplainAnalyzeWorkers(node, db, o.workers)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1

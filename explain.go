@@ -52,12 +52,21 @@ type AnalyzeReport struct {
 // run uses a private registry and tracer, so concurrent callers do
 // not mix metrics.
 func ExplainAnalyze(q Node, db Database) (*AnalyzeReport, error) {
+	return ExplainAnalyzeWorkers(q, db, 0)
+}
+
+// ExplainAnalyzeWorkers is ExplainAnalyze with the optimizer's
+// saturate and cost phases spread over the given number of goroutines
+// (0 or 1 serial, < 0 GOMAXPROCS). The report is identical for any
+// worker count; only the phase wall times change.
+func ExplainAnalyzeWorkers(q Node, db Database, workers int) (*AnalyzeReport, error) {
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer()
 	est := stats.NewEstimator(stats.FromDatabase(db))
 	opt := optimizer.New(est)
 	opt.Opts.Obs = reg
 	opt.Opts.Tracer = tracer
+	opt.Opts.Workers = workers
 	res, err := opt.Optimize(q, db)
 	if err != nil {
 		return nil, err

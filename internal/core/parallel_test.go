@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/simplify"
+	"repro/internal/value"
+)
+
+// q1 is the paper's Section 1.1 Query 1 shape: an aggregated view
+// under an outer join whose predicate references the aggregate,
+// topped by a filtering inner join (the query that motivates
+// group-by push-up).
+func q1() plan.Node {
+	v1 := plan.NewGroupBy(
+		[]schema.Attribute{schema.Attr("r1", "x"), schema.Attr("r2", "y")},
+		nil,
+		plan.NewJoin(plan.InnerJoin, eqX("r1", "r2"),
+			plan.NewScan("r1"), plan.NewScan("r2")))
+	loj := plan.NewJoin(plan.LeftJoin,
+		expr.Cmp{Op: value.GE, L: expr.Column("r3", "x"), R: expr.Column("r1", "x")},
+		v1, plan.NewScan("r3"))
+	return plan.NewJoin(plan.InnerJoin, eqY("r4", "r2"), loj, plan.NewScan("r4"))
+}
+
+// assertSameSaturation saturates q serially and with the given worker
+// counts and asserts the runs are indistinguishable: same plan
+// sequence (by fingerprint), same derivation trace, same chains.
+func assertSameSaturation(t *testing.T, name string, q plan.Node, maxPlans int, workerCounts ...int) {
+	t.Helper()
+	wantPlans, wantTrace := SaturateTraced(q, SaturateOptions{MaxPlans: maxPlans, Workers: 1})
+	wantKeys := make([]string, len(wantPlans))
+	for i, p := range wantPlans {
+		wantKeys[i] = plan.Key(p)
+	}
+	for _, w := range workerCounts {
+		gotPlans, gotTrace := SaturateTraced(q, SaturateOptions{MaxPlans: maxPlans, Workers: w})
+		if len(gotPlans) != len(wantPlans) {
+			t.Fatalf("%s workers=%d: %d plans, serial %d", name, w, len(gotPlans), len(wantPlans))
+		}
+		for i, p := range gotPlans {
+			if plan.Key(p) != wantKeys[i] {
+				t.Fatalf("%s workers=%d: plan %d differs\n got: %s\nwant: %s",
+					name, w, i, plan.Key(p), wantKeys[i])
+			}
+		}
+		if len(gotTrace) != len(wantTrace) {
+			t.Fatalf("%s workers=%d: trace size %d, serial %d", name, w, len(gotTrace), len(wantTrace))
+		}
+		for key, d := range wantTrace {
+			if gotTrace[key] != d {
+				t.Fatalf("%s workers=%d: derivation of %s differs: got %+v want %+v",
+					name, w, key, gotTrace[key], d)
+			}
+		}
+		// Every non-root plan must have a valid chain back to the root,
+		// and the chains must match the serial ones step for step.
+		for i, p := range gotPlans {
+			got := DerivationChain(gotTrace, plan.Key(p))
+			want := DerivationChain(wantTrace, wantKeys[i])
+			if i > 0 && len(got) == 0 {
+				t.Fatalf("%s workers=%d: plan %d has no derivation chain", name, w, i)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: chain length of plan %d differs", name, w, i)
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("%s workers=%d: chain of plan %d differs at %d: %s vs %s",
+						name, w, i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSaturationEquivalence is the determinism property on
+// the paper's queries: saturation with N workers returns exactly the
+// serial plan sequence and trace. Run under -race (make race) it also
+// proves the worker pool is race-clean.
+func TestParallelSaturationEquivalence(t *testing.T) {
+	assertSameSaturation(t, "Q1", q1(), 4000, 2, 4, 8)
+	assertSameSaturation(t, "Q5", q5(), 4000, 2, 4, 8)
+	assertSameSaturation(t, "Q6", simplify.Simplify(q6()), 4000, 2, 4, 8)
+}
+
+// TestParallelSaturationEquivalenceFuzz extends the property to
+// random query shapes, including capped runs (small MaxPlans stops
+// enumeration mid-wave, which must truncate at exactly the same
+// prefix as the serial engine).
+func TestParallelSaturationEquivalenceFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	queries := 25
+	if testing.Short() {
+		queries = 6
+	}
+	for qi := 0; qi < queries; qi++ {
+		n := 3 + rng.Intn(3)
+		rels := make([]string, n)
+		for i := range rels {
+			rels[i] = relNames[i]
+		}
+		q := simplify.Simplify(randomQuery(rng, rels))
+		maxPlans := []int{50, 400, 100000}[rng.Intn(3)]
+		assertSameSaturation(t, q.String(), q, maxPlans, 2, 5)
+	}
+}
+
+// TestParallelSaturationCounters pins the enumeration accounting: an
+// uncapped parallel run reports the same rule_applied, rule_admitted,
+// dedup_hits and plans_admitted totals as the serial run.
+func TestParallelSaturationCounters(t *testing.T) {
+	q := q5()
+	counts := func(workers int) map[string]int64 {
+		reg := obs.NewRegistry()
+		Saturate(q, SaturateOptions{MaxPlans: 100000, Workers: workers, Obs: reg})
+		out := make(map[string]int64)
+		for name, v := range reg.Snapshot().Counters {
+			out[name] = v
+		}
+		return out
+	}
+	serial, par := counts(1), counts(4)
+	for _, name := range []string{
+		"optimizer.rule_applied.commute",
+		"optimizer.rule_applied.split",
+		"optimizer.rule_admitted.commute",
+		"optimizer.dedup_hits",
+		"optimizer.plans_admitted",
+	} {
+		if serial[name] != par[name] {
+			t.Errorf("%s: serial %d, parallel %d", name, serial[name], par[name])
+		}
+	}
+	if par["optimizer.saturate.waves"] == 0 {
+		t.Error("parallel run should report its wave count")
+	}
+}
+
+// TestSaturateWorkersDefault pins the Workers contract: 0 and 1 are
+// the serial engine, negative means GOMAXPROCS.
+func TestSaturateWorkersDefault(t *testing.T) {
+	q := q5()
+	serial := Saturate(q, SaturateOptions{MaxPlans: 500})
+	auto := Saturate(q, SaturateOptions{MaxPlans: 500, Workers: -1})
+	if len(serial) != len(auto) {
+		t.Fatalf("Workers:-1 returned %d plans, default %d", len(auto), len(serial))
+	}
+	for i := range serial {
+		if plan.Key(serial[i]) != plan.Key(auto[i]) {
+			t.Fatalf("Workers:-1 plan %d differs from default", i)
+		}
+	}
+}

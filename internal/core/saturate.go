@@ -1,7 +1,11 @@
 package core
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/plan"
@@ -13,12 +17,32 @@ type SaturateOptions struct {
 	Rules []Rule
 	// MaxPlans caps the equivalence class size (0 means 100000).
 	MaxPlans int
+	// Workers sets the number of goroutines expanding the frontier.
+	// 0 and 1 run the serial loop; < 0 means runtime.GOMAXPROCS(0).
+	// Any value returns the identical plan sequence and derivation
+	// trace: the parallel engine expands breadth-first waves
+	// concurrently but admits candidates in the serial order.
+	Workers int
 	// Obs, when non-nil, receives enumeration counters:
 	// optimizer.rule_applied.<rule> (every identity firing),
 	// optimizer.rule_admitted.<rule> (firings yielding a new plan),
 	// optimizer.dedup_hits (firings deduplicated away),
-	// optimizer.plans_admitted and optimizer.enumeration_capped.
+	// optimizer.plans_admitted and optimizer.enumeration_capped,
+	// plus, for parallel runs, optimizer.saturate.waves and the
+	// optimizer.saturate.worker_busy_ns utilization histogram.
 	Obs *obs.Registry
+}
+
+// workers resolves the option to a concrete goroutine count.
+func (o SaturateOptions) workers() int {
+	switch {
+	case o.Workers < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Workers == 0:
+		return 1
+	default:
+		return o.Workers
+	}
 }
 
 // Derivation records how a plan entered the closure: the canonical
@@ -31,21 +55,29 @@ type Derivation struct {
 
 // Saturate computes the closure of root under the rule set: the set
 // of equivalent plans reachable by applying rules at any subtree
-// position, deduplicated by canonical plan string. The input plan is
-// always the first element. This is the paper's enumeration (Section
-// 4) realised as a transformation-based optimizer: every rule is an
-// identity, so every returned plan evaluates to the same relation as
-// root.
+// position, deduplicated by canonical plan fingerprint. The input
+// plan is always the first element. This is the paper's enumeration
+// (Section 4) realised as a transformation-based optimizer: every
+// rule is an identity, so every returned plan evaluates to the same
+// relation as root.
 func Saturate(root plan.Node, opts SaturateOptions) []plan.Node {
 	plans, _ := SaturateTraced(root, opts)
 	return plans
 }
 
 // SaturateTraced is Saturate plus a derivation map (keyed by plan
-// string) recording, for every plan except the root, which rule
-// produced it from which parent. Walking the map back to the root
-// yields the identity chain that justifies a plan — EXPLAIN-style
-// provenance for the paper's rewrites.
+// fingerprint, i.e. the canonical plan string) recording, for every
+// plan except the root, which rule produced it from which parent.
+// Walking the map back to the root yields the identity chain that
+// justifies a plan — EXPLAIN-style provenance for the paper's
+// rewrites.
+//
+// With Workers > 1 the expansion runs as a level-synchronized worker
+// pool: each breadth-first wave's rule applications and fingerprint
+// computations fan out across goroutines, and a single-threaded merge
+// admits the results in frontier order, so the output plan sequence,
+// the trace and the best-plan choice are identical to the serial run
+// regardless of scheduling.
 func SaturateTraced(root plan.Node, opts SaturateOptions) ([]plan.Node, map[string]Derivation) {
 	rules := opts.Rules
 	if rules == nil {
@@ -55,21 +87,39 @@ func SaturateTraced(root plan.Node, opts SaturateOptions) ([]plan.Node, map[stri
 	if maxPlans <= 0 {
 		maxPlans = 100000
 	}
-	rootKey := root.String()
+	if w := opts.workers(); w > 1 {
+		return saturateParallel(root, rules, maxPlans, w, opts.Obs)
+	}
+	return saturateSerial(root, rules, maxPlans, opts.Obs)
+}
+
+// saturateSerial is the single-goroutine breadth-first closure. The
+// queue is consumed through a head index with periodic compaction
+// instead of queue = queue[1:], so the backing array of a long run is
+// released as it drains rather than pinned in full.
+func saturateSerial(root plan.Node, rules []Rule, maxPlans int, reg *obs.Registry) ([]plan.Node, map[string]Derivation) {
+	rootKey := plan.Key(root)
 	seen := map[string]bool{rootKey: true}
 	trace := make(map[string]Derivation)
 	out := []plan.Node{root}
 	queue := []plan.Node{root}
-	reg := opts.Obs // nil disables enumeration accounting
-	for len(queue) > 0 && len(out) < maxPlans {
-		cur := queue[0]
-		curKey := cur.String()
-		queue = queue[1:]
-		for _, alt := range alternatives(cur, rules) {
+	head := 0
+	var scratch []altPlan // reused across dequeues: alternatives are consumed immediately
+	for head < len(queue) && len(out) < maxPlans {
+		cur := queue[head]
+		queue[head] = nil
+		head++
+		if head >= 1024 && head*2 >= len(queue) {
+			queue = queue[:copy(queue, queue[head:])]
+			head = 0
+		}
+		curKey := plan.Key(cur) // cached: computed once per plan, ever
+		scratch = appendAlternatives(scratch[:0], cur, rules)
+		for _, alt := range scratch {
 			if reg != nil {
 				reg.Counter("optimizer.rule_applied." + alt.rule).Inc()
 			}
-			key := alt.plan.String()
+			key := plan.Key(alt.plan)
 			if seen[key] {
 				if reg != nil {
 					reg.Counter("optimizer.dedup_hits").Inc()
@@ -91,6 +141,102 @@ func SaturateTraced(root plan.Node, opts SaturateOptions) ([]plan.Node, map[stri
 				break
 			}
 		}
+	}
+	return out, trace
+}
+
+// saturateParallel expands the closure wave by wave: all plans
+// admitted in wave i form the frontier of wave i+1, workers apply the
+// rule set to frontier items concurrently (pre-filtering against the
+// seen-set of completed waves, which is read-only while workers run),
+// and the merge admits survivors in frontier order. Because serial
+// breadth-first admission also processes the queue in exactly that
+// order, the plan sequence and trace are bit-identical to
+// saturateSerial's.
+func saturateParallel(root plan.Node, rules []Rule, maxPlans, workers int, reg *obs.Registry) ([]plan.Node, map[string]Derivation) {
+	rootKey := plan.Key(root)
+	seen := map[string]bool{rootKey: true}
+	trace := make(map[string]Derivation)
+	out := []plan.Node{root}
+	frontier := []plan.Node{root}
+	if reg != nil {
+		reg.Gauge("optimizer.saturate.workers").Set(int64(workers))
+	}
+	for len(frontier) > 0 && len(out) < maxPlans {
+		results := make([][]altPlan, len(frontier))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		nw := workers
+		if nw > len(frontier) {
+			nw = len(frontier)
+		}
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				start := time.Now()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(frontier) {
+						break
+					}
+					alts := appendAlternatives(nil, frontier[i], rules)
+					// Force fingerprints while parallel (cached for the
+					// merge) and drop candidates already admitted by a
+					// previous wave; within-wave duplicates are caught
+					// in the ordered merge below.
+					kept := alts[:0]
+					for _, a := range alts {
+						if reg != nil {
+							reg.Counter("optimizer.rule_applied." + a.rule).Inc()
+						}
+						if seen[plan.Key(a.plan)] {
+							if reg != nil {
+								reg.Counter("optimizer.dedup_hits").Inc()
+							}
+							continue
+						}
+						kept = append(kept, a)
+					}
+					results[i] = kept
+				}
+				if reg != nil {
+					reg.Histogram("optimizer.saturate.worker_busy_ns").ObserveDuration(time.Since(start))
+				}
+			}()
+		}
+		wg.Wait()
+		if reg != nil {
+			reg.Counter("optimizer.saturate.waves").Inc()
+		}
+		waveStart := len(out)
+	merge:
+		for i, alts := range results {
+			curKey := plan.Key(frontier[i])
+			for _, alt := range alts {
+				key := plan.Key(alt.plan)
+				if seen[key] {
+					if reg != nil {
+						reg.Counter("optimizer.dedup_hits").Inc()
+					}
+					continue
+				}
+				seen[key] = true
+				trace[key] = Derivation{Parent: curKey, Rule: alt.rule}
+				out = append(out, alt.plan)
+				if reg != nil {
+					reg.Counter("optimizer.rule_admitted." + alt.rule).Inc()
+					reg.Counter("optimizer.plans_admitted").Inc()
+				}
+				if len(out) >= maxPlans {
+					if reg != nil {
+						reg.Counter("optimizer.enumeration_capped").Inc()
+					}
+					break merge
+				}
+			}
+		}
+		frontier = out[waveStart:]
 	}
 	return out, trace
 }
@@ -119,46 +265,43 @@ type altPlan struct {
 	rule string
 }
 
-// alternatives applies every rule at every subtree position of cur
-// and returns the resulting full plans with the producing rule.
-func alternatives(cur plan.Node, rules []Rule) []altPlan {
-	var out []altPlan
-	var paths [][]int
-	collectPaths(cur, nil, &paths)
-	for _, path := range paths {
-		sub := nodeAt(cur, path)
-		for _, r := range rules {
-			for _, alt := range r.Apply(sub) {
-				out = append(out, altPlan{plan: replaceAt(cur, path, alt), rule: r.Name})
+// appendAlternatives applies every rule at every subtree position of
+// cur and appends the resulting full plans (with the producing rule)
+// to out, reusing its capacity. The traversal rebuilds the spine on
+// the way out of the recursion, so no path slices are materialized
+// and unchanged siblings are shared with cur.
+func appendAlternatives(out []altPlan, cur plan.Node, rules []Rule) []altPlan {
+	return appendAlts(out, cur, rules, nil)
+}
+
+// appendAlts recurses pre-order; wrap rebuilds the ancestors of n
+// around a replacement subtree (nil at the root). The visit order
+// matches the collectPaths order the serial engine always used, so
+// admission order — and with it the derivation trace — is preserved.
+func appendAlts(out []altPlan, n plan.Node, rules []Rule, wrap func(plan.Node) plan.Node) []altPlan {
+	for _, r := range rules {
+		for _, alt := range r.Apply(n) {
+			if wrap != nil {
+				alt = wrap(alt)
 			}
+			out = append(out, altPlan{plan: alt, rule: r.Name})
 		}
 	}
-	return out
-}
-
-func collectPaths(n plan.Node, prefix []int, out *[][]int) {
-	*out = append(*out, append([]int(nil), prefix...))
-	for i, c := range n.Children() {
-		collectPaths(c, append(prefix, i), out)
-	}
-}
-
-func nodeAt(n plan.Node, path []int) plan.Node {
-	for _, i := range path {
-		n = n.Children()[i]
-	}
-	return n
-}
-
-func replaceAt(n plan.Node, path []int, sub plan.Node) plan.Node {
-	if len(path) == 0 {
-		return sub
-	}
 	ch := n.Children()
-	newCh := make([]plan.Node, len(ch))
-	copy(newCh, ch)
-	newCh[path[0]] = replaceAt(ch[path[0]], path[1:], sub)
-	return n.WithChildren(newCh)
+	for i, c := range ch {
+		childWrap := func(sub plan.Node) plan.Node {
+			newCh := make([]plan.Node, len(ch))
+			copy(newCh, ch)
+			newCh[i] = sub
+			rebuilt := n.WithChildren(newCh)
+			if wrap != nil {
+				return wrap(rebuilt)
+			}
+			return rebuilt
+		}
+		out = appendAlts(out, c, rules, childWrap)
+	}
+	return out
 }
 
 // JoinOrders extracts the distinct association-tree shapes (orders in

@@ -10,7 +10,6 @@
 package expr
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 
@@ -181,9 +180,10 @@ func (a Arith) Attrs(dst []schema.Attribute) []schema.Attribute {
 	return a.R.Attrs(a.L.Attrs(dst))
 }
 
-// String implements Scalar.
+// String implements Scalar. Concatenation, not fmt: scalar strings
+// are on the plan-fingerprint hot path.
 func (a Arith) String() string {
-	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
+	return "(" + a.L.String() + " " + a.Op.String() + " " + a.R.String() + ")"
 }
 
 // Pred is a three-valued-logic predicate. All predicates built from
@@ -231,9 +231,10 @@ func (c Cmp) Attrs(dst []schema.Attribute) []schema.Attribute {
 	return c.R.Attrs(c.L.Attrs(dst))
 }
 
-// String implements Pred.
+// String implements Pred. Concatenation, not fmt: predicate strings
+// are rendered once per candidate plan the enumerator generates.
 func (c Cmp) String() string {
-	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+	return c.L.String() + " " + c.Op.String() + " " + c.R.String()
 }
 
 // Conj is the conjunction p1 ∧ … ∧ pn. An empty conjunction is true.

@@ -12,8 +12,11 @@ package optimizer
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -32,6 +35,11 @@ type Options struct {
 	// PushUpAggregates also seeds the enumeration with
 	// aggregation-pull-up variants of the query (Example 3.1).
 	PushUpAggregates bool
+	// Workers parallelizes the saturate and cost phases across
+	// goroutines. 0 and 1 run serially; < 0 means
+	// runtime.GOMAXPROCS(0). Any value yields the identical result:
+	// the same plan set, ranking and best plan as the serial run.
+	Workers int
 	// Obs receives the run's metrics (rule firings, dedup hits, plans
 	// enumerated, per-phase wall time); obs.Default() when nil.
 	Obs *obs.Registry
@@ -147,9 +155,14 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (*Result, error) {
 	var chains [][]string
 	firings := make(map[string]int)
 	for _, sd := range seeds {
-		plans, trace := core.SaturateTraced(sd.node, core.SaturateOptions{Rules: rules, MaxPlans: maxPlans - len(all), Obs: reg})
+		plans, trace := core.SaturateTraced(sd.node, core.SaturateOptions{
+			Rules:    rules,
+			MaxPlans: maxPlans - len(all),
+			Workers:  o.Opts.Workers,
+			Obs:      reg,
+		})
 		for _, p := range plans {
-			key := p.String()
+			key := plan.Key(p)
 			if !seen[key] {
 				seen[key] = true
 				all = append(all, p)
@@ -171,17 +184,9 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (*Result, error) {
 		return nil, fmt.Errorf("optimizer: no plans enumerated for %s", q)
 	}
 	endCost := phase("cost")
-	ranked := make([]Ranked, 0, len(all))
-	for i, p := range all {
-		cost, err := o.Est.PlanCost(p)
-		if err != nil {
-			return nil, fmt.Errorf("optimizer: costing %s: %w", p, err)
-		}
-		rows, err := o.Est.Rows(p)
-		if err != nil {
-			return nil, err
-		}
-		ranked = append(ranked, Ranked{Plan: p, Cost: cost, Rows: rows, Derivation: chains[i]})
+	ranked, err := o.costAll(all, chains, reg)
+	if err != nil {
+		return nil, err
 	}
 	endCost()
 	reg.Counter("optimizer.plans_costed").Add(int64(len(ranked)))
@@ -194,6 +199,68 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (*Result, error) {
 	res.Phases = phases
 	root.Annotate("plans=%d best=%.1f", res.Considered, res.Best.Cost)
 	return res, nil
+}
+
+// costAll estimates cost and cardinality for every enumerated plan
+// through one stats.Session, so shared subtrees across the closure are
+// costed once. With Options.Workers > 1 the plans fan out across
+// goroutines; results land in their plan's slot, so the ranking input
+// is index-deterministic and the sort (stable) agrees with the serial
+// run. On error the first failing index wins, matching the serial
+// loop's first-error semantics.
+func (o *Optimizer) costAll(all []plan.Node, chains [][]string, reg *obs.Registry) ([]Ranked, error) {
+	sess := o.Est.NewSession(reg)
+	ranked := make([]Ranked, len(all))
+	costOne := func(i int) error {
+		cost, err := sess.PlanCost(all[i])
+		if err != nil {
+			return fmt.Errorf("optimizer: costing %s: %w", all[i], err)
+		}
+		rows, err := sess.Rows(all[i])
+		if err != nil {
+			return err
+		}
+		ranked[i] = Ranked{Plan: all[i], Cost: cost, Rows: rows, Derivation: chains[i]}
+		return nil
+	}
+	workers := o.Opts.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || len(all) < 2 {
+		for i := range all {
+			if err := costOne(i); err != nil {
+				return nil, err
+			}
+		}
+		return ranked, nil
+	}
+	if workers > len(all) {
+		workers = len(all)
+	}
+	errs := make([]error, len(all))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(all) {
+					return
+				}
+				errs[i] = costOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ranked, nil
 }
 
 // Explain renders an optimization result: the chosen plan, its cost,

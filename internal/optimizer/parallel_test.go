@@ -1,0 +1,85 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// parTestDB gives query2's relations enough skew that the closure has
+// a clear, unique cost minimum.
+func parTestDB() plan.Database {
+	return plan.Database{
+		"r1": buildRel("r1", 240, func(i int) (int64, int64) { return int64(i % 6), int64(i) }),
+		"r2": buildRel("r2", 160, func(i int) (int64, int64) { return int64(i % 6), int64(i % 4) }),
+		"r3": buildRel("r3", 90, func(i int) (int64, int64) { return int64(i % 5), int64(i % 4) }),
+	}
+}
+
+// TestOptimizeWorkersDeterministic: a parallel optimization run is
+// observationally identical to the serial run — same plan set in the
+// same ranked order, same costs, same best plan, same rule firings.
+func TestOptimizeWorkersDeterministic(t *testing.T) {
+	db := parTestDB()
+	q := query2()
+	run := func(workers int) *Result {
+		est := stats.NewEstimator(stats.FromDatabase(db))
+		o := New(est)
+		o.Opts.Workers = workers
+		o.Opts.Obs = obs.NewRegistry()
+		res, err := o.Optimize(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, w := range []int{2, 4, -1} {
+		par := run(w)
+		if par.Considered != serial.Considered {
+			t.Fatalf("workers=%d considered %d plans, serial %d", w, par.Considered, serial.Considered)
+		}
+		if plan.Key(par.Best.Plan) != plan.Key(serial.Best.Plan) || par.Best.Cost != serial.Best.Cost {
+			t.Fatalf("workers=%d best (%s, %.4f) != serial (%s, %.4f)",
+				w, plan.Key(par.Best.Plan), par.Best.Cost, plan.Key(serial.Best.Plan), serial.Best.Cost)
+		}
+		for i := range serial.Plans {
+			sp, pp := serial.Plans[i], par.Plans[i]
+			if plan.Key(sp.Plan) != plan.Key(pp.Plan) || sp.Cost != pp.Cost || sp.Rows != pp.Rows {
+				t.Fatalf("workers=%d ranked[%d] differs: (%s, %.4f) vs serial (%s, %.4f)",
+					w, i, plan.Key(pp.Plan), pp.Cost, plan.Key(sp.Plan), sp.Cost)
+			}
+		}
+		if len(par.RuleFirings) != len(serial.RuleFirings) {
+			t.Fatalf("workers=%d rule firings differ: %v vs %v", w, par.RuleFirings, serial.RuleFirings)
+		}
+		for r, n := range serial.RuleFirings {
+			if par.RuleFirings[r] != n {
+				t.Fatalf("workers=%d firing count for %s: %d vs serial %d", w, r, par.RuleFirings[r], n)
+			}
+		}
+	}
+}
+
+// TestOptimizeCostMemoCounters: the cost phase routes through the
+// shared-subtree session, so a closure with thousands of overlapping
+// plans must report memo hits.
+func TestOptimizeCostMemoCounters(t *testing.T) {
+	db := parTestDB()
+	reg := obs.NewRegistry()
+	est := stats.NewEstimator(stats.FromDatabase(db))
+	o := New(est)
+	o.Opts.Obs = reg
+	if _, err := o.Optimize(query2(), db); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot().Counters
+	if snap["stats.memo.cost_hits"] == 0 {
+		t.Error("optimizer cost phase should hit the subtree cost memo")
+	}
+	if snap["stats.memo.rows_hits"] == 0 {
+		t.Error("optimizer cost phase should hit the subtree rows memo")
+	}
+}

@@ -37,6 +37,8 @@ type Node interface {
 	Eval(db Database) (*relation.Relation, error)
 	// String renders the plan canonically; equal strings mean equal
 	// plans, which the saturation engine relies on for memoization.
+	// Nodes of this package cache the rendering (see Key and
+	// Fingerprint), so repeated calls cost a pointer load.
 	String() string
 }
 
@@ -74,6 +76,8 @@ type Scan struct {
 	// As, when non-empty, requalifies every attribute of the
 	// relation (including its virtual row identifier) to this name.
 	As string
+
+	fp fpCache
 }
 
 // NewScan returns a scan of rel.
@@ -139,19 +143,25 @@ func renameSchema(s *schema.Schema, old, new string) *schema.Schema {
 	return schema.New(attrs...)
 }
 
-// String implements Node.
-func (s *Scan) String() string {
-	if s.As == "" || s.As == s.Rel {
-		return s.Rel
-	}
-	return s.Rel + ":" + s.As
+func (s *Scan) fingerprint() *fpVal {
+	return s.fp.val(func() string {
+		if s.As == "" || s.As == s.Rel {
+			return s.Rel
+		}
+		return s.Rel + ":" + s.As
+	})
 }
+
+// String implements Node.
+func (s *Scan) String() string { return s.fingerprint().key }
 
 // Join is a binary operator r_l ⊙_p r_r of the given kind.
 type Join struct {
 	Kind JoinKind
 	Pred expr.Pred
 	L, R Node
+
+	fp fpCache
 }
 
 // NewJoin builds a join node.
@@ -206,15 +216,24 @@ func (j *Join) Eval(db Database) (*relation.Relation, error) {
 	return nil, fmt.Errorf("plan: unknown join kind %v", j.Kind)
 }
 
-// String implements Node.
-func (j *Join) String() string {
-	return fmt.Sprintf("(%s %s[%s] %s)", j.L, j.Kind, j.Pred, j.R)
+func (j *Join) fingerprint() *fpVal {
+	return j.fp.val(func() string {
+		// Built by concatenation, not fmt: this runs once per candidate
+		// plan the enumerator generates and fmt's reflection dominated
+		// its profile.
+		return "(" + Key(j.L) + " " + j.Kind.String() + "[" + predKey(j.Pred) + "] " + Key(j.R) + ")"
+	})
 }
+
+// String implements Node.
+func (j *Join) String() string { return j.fingerprint().key }
 
 // Select is the conventional selection σ_p.
 type Select struct {
 	Pred  expr.Pred
 	Input Node
+
+	fp fpCache
 }
 
 // NewSelect builds a selection node.
@@ -243,10 +262,14 @@ func (s *Select) Eval(db Database) (*relation.Relation, error) {
 	return algebra.Select(s.Pred, in), nil
 }
 
-// String implements Node.
-func (s *Select) String() string {
-	return fmt.Sprintf("SEL[%s](%s)", s.Pred, s.Input)
+func (s *Select) fingerprint() *fpVal {
+	return s.fp.val(func() string {
+		return "SEL[" + predKey(s.Pred) + "](" + Key(s.Input) + ")"
+	})
 }
+
+// String implements Node.
+func (s *Select) String() string { return s.fingerprint().key }
 
 // PreservedSpec names the base relations spanned by one preserved
 // relation of a generalized selection (the "r1r2" of σ*_p[r1r2]).
@@ -277,6 +300,8 @@ type GenSel struct {
 	Pred      expr.Pred
 	Preserved []PreservedSpec
 	Input     Node
+
+	fp fpCache
 }
 
 // NewGenSel builds a generalized selection node with canonically
@@ -314,14 +339,14 @@ func (g *GenSel) Eval(db Database) (*relation.Relation, error) {
 	return algebra.GenSelect(g.Pred, specs, in)
 }
 
-// String implements Node.
-func (g *GenSel) String() string {
-	parts := make([]string, len(g.Preserved))
-	for i, s := range g.Preserved {
-		parts[i] = s.String()
-	}
-	return fmt.Sprintf("GS[%s; %s](%s)", g.Pred, strings.Join(parts, ","), g.Input)
+func (g *GenSel) fingerprint() *fpVal {
+	return g.fp.val(func() string {
+		return "GS[" + predKey(g.Pred) + "; " + specsKey(g.Preserved) + "](" + Key(g.Input) + ")"
+	})
 }
+
+// String implements Node.
+func (g *GenSel) String() string { return g.fingerprint().key }
 
 // MGOJNode is the modified generalized outer join
 // MGOJ_p[specs](l, r) of [BHAR95a].
@@ -329,6 +354,8 @@ type MGOJNode struct {
 	Pred      expr.Pred
 	Preserved []PreservedSpec
 	L, R      Node
+
+	fp fpCache
 }
 
 // NewMGOJ builds an MGOJ node.
@@ -379,20 +406,22 @@ func (m *MGOJNode) Eval(db Database) (*relation.Relation, error) {
 	return algebra.MGOJ(m.Pred, specs, l, r)
 }
 
-// String implements Node.
-func (m *MGOJNode) String() string {
-	parts := make([]string, len(m.Preserved))
-	for i, s := range m.Preserved {
-		parts[i] = s.String()
-	}
-	return fmt.Sprintf("(%s MGOJ[%s; %s] %s)", m.L, m.Pred, strings.Join(parts, ","), m.R)
+func (m *MGOJNode) fingerprint() *fpVal {
+	return m.fp.val(func() string {
+		return "(" + Key(m.L) + " MGOJ[" + predKey(m.Pred) + "; " + specsKey(m.Preserved) + "] " + Key(m.R) + ")"
+	})
 }
+
+// String implements Node.
+func (m *MGOJNode) String() string { return m.fingerprint().key }
 
 // GroupBy is the generalized projection π_{X,f(Y)}(input).
 type GroupBy struct {
 	Keys  []schema.Attribute
 	Aggs  []algebra.Aggregate
 	Input Node
+
+	fp fpCache
 }
 
 // NewGroupBy builds a generalized projection node.
@@ -432,24 +461,30 @@ func (g *GroupBy) Eval(db Database) (*relation.Relation, error) {
 	return algebra.GroupProject(g.Keys, g.Aggs, in), nil
 }
 
-// String implements Node.
-func (g *GroupBy) String() string {
-	keys := make([]string, len(g.Keys))
-	for i, k := range g.Keys {
-		keys[i] = k.String()
-	}
-	aggs := make([]string, len(g.Aggs))
-	for i, a := range g.Aggs {
-		aggs[i] = a.String()
-	}
-	return fmt.Sprintf("GP[%s; %s](%s)", strings.Join(keys, ","), strings.Join(aggs, ","), g.Input)
+func (g *GroupBy) fingerprint() *fpVal {
+	return g.fp.val(func() string {
+		keys := make([]string, len(g.Keys))
+		for i, k := range g.Keys {
+			keys[i] = k.String()
+		}
+		aggs := make([]string, len(g.Aggs))
+		for i, a := range g.Aggs {
+			aggs[i] = a.String()
+		}
+		return "GP[" + strings.Join(keys, ",") + "; " + strings.Join(aggs, ",") + "](" + Key(g.Input) + ")"
+	})
 }
+
+// String implements Node.
+func (g *GroupBy) String() string { return g.fingerprint().key }
 
 // Project is π over the listed attributes, optionally distinct.
 type Project struct {
 	Attrs    []schema.Attribute
 	Distinct bool
 	Input    Node
+
+	fp fpCache
 }
 
 // NewProject builds a projection node.
@@ -485,15 +520,19 @@ func (p *Project) Eval(db Database) (*relation.Relation, error) {
 	return in.Project(p.Attrs, p.Distinct), nil
 }
 
-// String implements Node.
-func (p *Project) String() string {
-	attrs := make([]string, len(p.Attrs))
-	for i, a := range p.Attrs {
-		attrs[i] = a.String()
-	}
-	d := ""
-	if p.Distinct {
-		d = " distinct"
-	}
-	return fmt.Sprintf("PROJ[%s%s](%s)", strings.Join(attrs, ","), d, p.Input)
+func (p *Project) fingerprint() *fpVal {
+	return p.fp.val(func() string {
+		attrs := make([]string, len(p.Attrs))
+		for i, a := range p.Attrs {
+			attrs[i] = a.String()
+		}
+		d := ""
+		if p.Distinct {
+			d = " distinct"
+		}
+		return fmt.Sprintf("PROJ[%s%s](%s)", strings.Join(attrs, ","), d, Key(p.Input))
+	})
 }
+
+// String implements Node.
+func (p *Project) String() string { return p.fingerprint().key }

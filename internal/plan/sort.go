@@ -33,6 +33,8 @@ type Sort struct {
 	Keys  []SortKey
 	Limit int
 	Input Node
+
+	fp fpCache
 }
 
 // NewSort builds a sort node; limit < 0 disables the limit.
@@ -121,15 +123,19 @@ func compareForSort(a, b value.Value) int {
 	return 0
 }
 
-// String implements Node.
-func (s *Sort) String() string {
-	keys := make([]string, len(s.Keys))
-	for i, k := range s.Keys {
-		keys[i] = k.String()
-	}
-	lim := ""
-	if s.Limit >= 0 {
-		lim = fmt.Sprintf(" limit %d", s.Limit)
-	}
-	return fmt.Sprintf("SORT[%s%s](%s)", strings.Join(keys, ","), lim, s.Input)
+func (s *Sort) fingerprint() *fpVal {
+	return s.fp.val(func() string {
+		keys := make([]string, len(s.Keys))
+		for i, k := range s.Keys {
+			keys[i] = k.String()
+		}
+		lim := ""
+		if s.Limit >= 0 {
+			lim = fmt.Sprintf(" limit %d", s.Limit)
+		}
+		return fmt.Sprintf("SORT[%s%s](%s)", strings.Join(keys, ","), lim, Key(s.Input))
+	})
 }
+
+// String implements Node.
+func (s *Sort) String() string { return s.fingerprint().key }

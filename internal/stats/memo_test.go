@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+func memoDB() plan.Database {
+	db := plan.Database{}
+	for _, name := range []string{"r1", "r2", "r3", "r4"} {
+		b := relation.NewBuilder(name, "x", "y")
+		for i := 0; i < 30; i++ {
+			b.Row(value.NewInt(int64(i%7)), value.NewInt(int64(i%5)))
+		}
+		db[name] = b.Relation()
+	}
+	return db
+}
+
+// memoPlans builds a family of plans sharing most subtrees, the shape
+// the memo is designed for.
+func memoPlans() []plan.Node {
+	r := func(n string) plan.Node { return plan.NewScan(n) }
+	eq := func(a, b string) expr.Pred { return expr.EqCols(a, "x", b, "x") }
+	base := plan.NewJoin(plan.InnerJoin, eq("r1", "r2"), r("r1"), r("r2"))
+	return []plan.Node{
+		base,
+		plan.NewJoin(plan.LeftJoin, eq("r2", "r3"), base, r("r3")),
+		plan.NewJoin(plan.FullJoin, eq("r2", "r3"), base, r("r3")),
+		plan.NewSelect(eq("r1", "r2"), plan.NewJoin(plan.LeftJoin, eq("r2", "r3"), base, r("r3"))),
+		plan.NewGenSel(eq("r1", "r3"), []plan.PreservedSpec{plan.NewPreserved("r1")},
+			plan.NewJoin(plan.LeftJoin, eq("r2", "r3"), base, r("r3"))),
+		plan.NewMGOJ(eq("r3", "r4"), []plan.PreservedSpec{plan.NewPreserved("r1")},
+			plan.NewJoin(plan.LeftJoin, eq("r2", "r3"), base, r("r3")), r("r4")),
+	}
+}
+
+// TestSessionMatchesEstimator: memoized estimates are bit-identical
+// to the plain estimator's, and the memo actually hits on shared
+// subtrees.
+func TestSessionMatchesEstimator(t *testing.T) {
+	est := NewEstimator(FromDatabase(memoDB()))
+	reg := obs.NewRegistry()
+	sess := est.NewSession(reg)
+	for _, p := range memoPlans() {
+		wantCost, err := est.PlanCost(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRows, err := est.Rows(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotCost, err := sess.PlanCost(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRows, err := sess.Rows(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotCost != wantCost || gotRows != wantRows {
+			t.Errorf("%s: session (%.4f, %.4f) != estimator (%.4f, %.4f)",
+				p, gotCost, gotRows, wantCost, wantRows)
+		}
+	}
+	snap := reg.Snapshot().Counters
+	if snap["stats.memo.cost_hits"] == 0 {
+		t.Error("shared subtrees should produce cost memo hits")
+	}
+	if snap["stats.memo.rows_hits"] == 0 {
+		t.Error("shared subtrees should produce rows memo hits")
+	}
+}
+
+// TestSessionConcurrent drives one session from several goroutines —
+// the optimizer's parallel cost phase — and checks agreement with the
+// serial estimator. Run under -race by make race.
+func TestSessionConcurrent(t *testing.T) {
+	est := NewEstimator(FromDatabase(memoDB()))
+	plans := memoPlans()
+	want := make([]float64, len(plans))
+	for i, p := range plans {
+		c, err := est.PlanCost(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = c
+	}
+	sess := est.NewSession(obs.NewRegistry())
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i, p := range plans {
+					c, err := sess.PlanCost(p)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if c != want[i] {
+						t.Errorf("worker %d: plan %d cost %.4f, want %.4f", w, i, c, want[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSessionError: estimation errors (unknown relation) surface
+// through the session unchanged and are not cached as values.
+func TestSessionError(t *testing.T) {
+	est := NewEstimator(FromDatabase(memoDB()))
+	sess := est.NewSession(obs.NewRegistry())
+	bad := plan.NewJoin(plan.InnerJoin, expr.EqCols("r1", "x", "zz", "x"),
+		plan.NewScan("r1"), plan.NewScan("zz"))
+	if _, err := sess.PlanCost(bad); err == nil {
+		t.Fatal("expected an error for unknown relation")
+	}
+	if _, err := sess.Rows(bad); err == nil {
+		t.Fatal("expected an error for unknown relation")
+	}
+}

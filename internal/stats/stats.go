@@ -14,8 +14,10 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/schema"
 	"repro/internal/value"
@@ -170,7 +172,34 @@ func (e *Estimator) eqConstSelectivity(col expr.Col, other expr.Scalar) float64 
 }
 
 // Rows estimates the output cardinality of n.
-func (e *Estimator) Rows(n plan.Node) (float64, error) {
+func (e *Estimator) Rows(n plan.Node) (float64, error) { return e.rows(n, nil) }
+
+// rows is Rows with an optional memo session: when s is non-nil,
+// estimates are looked up and recorded by subtree fingerprint, so a
+// subtree shared by many plans of an equivalence class is estimated
+// once.
+func (e *Estimator) rows(n plan.Node, s *Session) (float64, error) {
+	memoize := s != nil && len(n.Children()) > 0 // a Scan lookup is cheaper than a memo hit
+	var key string
+	if memoize {
+		key = plan.Key(n)
+		if v, ok := s.rows.Load(key); ok {
+			s.rowsHits.Inc()
+			return v.(float64), nil
+		}
+		s.rowsMiss.Inc()
+	}
+	v, err := e.rowsSwitch(n, s)
+	if err != nil {
+		return 0, err
+	}
+	if memoize {
+		s.rows.Store(key, v)
+	}
+	return v, nil
+}
+
+func (e *Estimator) rowsSwitch(n plan.Node, s *Session) (float64, error) {
 	switch m := n.(type) {
 	case *plan.Scan:
 		ts, ok := e.Cat[m.Rel]
@@ -179,17 +208,17 @@ func (e *Estimator) Rows(n plan.Node) (float64, error) {
 		}
 		return ts.Rows, nil
 	case *plan.Select:
-		in, err := e.Rows(m.Input)
+		in, err := e.rows(m.Input, s)
 		if err != nil {
 			return 0, err
 		}
 		return in * e.Selectivity(m.Pred), nil
 	case *plan.Join:
-		l, err := e.Rows(m.L)
+		l, err := e.rows(m.L, s)
 		if err != nil {
 			return 0, err
 		}
-		r, err := e.Rows(m.R)
+		r, err := e.rows(m.R, s)
 		if err != nil {
 			return 0, err
 		}
@@ -205,7 +234,7 @@ func (e *Estimator) Rows(n plan.Node) (float64, error) {
 			return math.Max(match, math.Max(l, r)), nil
 		}
 	case *plan.GenSel:
-		in, err := e.Rows(m.Input)
+		in, err := e.rows(m.Input, s)
 		if err != nil {
 			return 0, err
 		}
@@ -218,18 +247,18 @@ func (e *Estimator) Rows(n plan.Node) (float64, error) {
 		}
 		return math.Min(out, in*(1+float64(len(m.Preserved)))), nil
 	case *plan.MGOJNode:
-		l, err := e.Rows(m.L)
+		l, err := e.rows(m.L, s)
 		if err != nil {
 			return 0, err
 		}
-		r, err := e.Rows(m.R)
+		r, err := e.rows(m.R, s)
 		if err != nil {
 			return 0, err
 		}
 		match := l * r * e.Selectivity(m.Pred)
 		return match + float64(len(m.Preserved))*math.Max(l, r)*0.5, nil
 	case *plan.GroupBy:
-		in, err := e.Rows(m.Input)
+		in, err := e.rows(m.Input, s)
 		if err != nil {
 			return 0, err
 		}
@@ -247,7 +276,7 @@ func (e *Estimator) Rows(n plan.Node) (float64, error) {
 		}
 		return math.Min(groups, math.Max(1, in)), nil
 	case *plan.Project:
-		in, err := e.Rows(m.Input)
+		in, err := e.rows(m.Input, s)
 		if err != nil {
 			return 0, err
 		}
@@ -256,7 +285,7 @@ func (e *Estimator) Rows(n plan.Node) (float64, error) {
 		}
 		return in, nil
 	case *plan.Sort:
-		in, err := e.Rows(m.Input)
+		in, err := e.rows(m.Input, s)
 		if err != nil {
 			return 0, err
 		}
@@ -274,10 +303,46 @@ func (e *Estimator) Rows(n plan.Node) (float64, error) {
 // cost as hash joins; others as nested loops. Generalized selection
 // costs one pass over its input plus an anti-join pass per preserved
 // relation — the same shape as MGOJ, per Section 4.
-func (e *Estimator) PlanCost(n plan.Node) (float64, error) {
+func (e *Estimator) PlanCost(n plan.Node) (float64, error) { return e.planCost(n, nil) }
+
+// planCost is PlanCost with an optional memo session. Costing is
+// where memoization pays twice: the recursion consults the row
+// estimator at every node (itself recursive), and the plans of an
+// equivalence class share almost all subtrees, so both the per-node
+// (rows, cost) pairs and the row estimates are computed once per
+// distinct subtree instead of once per occurrence.
+func (e *Estimator) planCost(n plan.Node, s *Session) (float64, error) {
 	var rec func(n plan.Node) (rows, cost float64, err error)
 	rec = func(n plan.Node) (float64, float64, error) {
-		rows, err := e.Rows(n)
+		memoize := s != nil && len(n.Children()) > 0
+		var key string
+		if memoize {
+			key = plan.Key(n)
+			if v, ok := s.cost.Load(key); ok {
+				s.costHits.Inc()
+				ent := v.(memoEntry)
+				return ent.rows, ent.cost, nil
+			}
+			s.costMiss.Inc()
+		}
+		rows, cost, err := e.costSwitch(n, s, rec)
+		if err != nil {
+			return 0, 0, err
+		}
+		if memoize {
+			s.cost.Store(key, memoEntry{rows: rows, cost: cost})
+		}
+		return rows, cost, nil
+	}
+	_, cost, err := rec(n)
+	return cost, err
+}
+
+// costSwitch computes one node's (rows, cost) given rec for the
+// inputs; recursion goes through rec so the memo sees every level.
+func (e *Estimator) costSwitch(n plan.Node, s *Session, rec func(plan.Node) (float64, float64, error)) (float64, float64, error) {
+	{
+		rows, err := e.rows(n, s)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -365,9 +430,54 @@ func (e *Estimator) PlanCost(n plan.Node) (float64, error) {
 			return 0, 0, fmt.Errorf("stats: cannot cost %T", n)
 		}
 	}
-	_, cost, err := rec(n)
-	return cost, err
 }
+
+// memoEntry is one memoized (rows, cost) pair.
+type memoEntry struct {
+	rows, cost float64
+}
+
+// Session memoizes row and cost estimates by subtree fingerprint
+// (plan.Key) for the duration of one optimizer run. The plans of an
+// equivalence class differ only along a rewrite spine and share
+// almost every subtree, so estimating 20k closure members touches
+// each distinct subtree once instead of once per plan. Sessions are
+// safe for concurrent use — the optimizer's parallel cost phase
+// shares one session across workers; duplicated computation under a
+// race is benign because estimates are pure functions of the subtree.
+//
+// A session must not outlive its catalog: keys are plan fingerprints,
+// so estimates for a re-ANALYZEd database need a fresh session.
+type Session struct {
+	e    *Estimator
+	rows sync.Map // plan key -> float64
+	cost sync.Map // plan key -> memoEntry
+
+	rowsHits, rowsMiss, costHits, costMiss *obs.Counter
+}
+
+// NewSession opens a memoized estimation session. Cache hit/miss
+// totals are reported to reg as stats.memo.{rows,cost}_{hits,misses}
+// (the process-wide default registry when reg is nil).
+func (e *Estimator) NewSession(reg *obs.Registry) *Session {
+	return &Session{
+		e:        e,
+		rowsHits: reg.Counter("stats.memo.rows_hits"),
+		rowsMiss: reg.Counter("stats.memo.rows_misses"),
+		costHits: reg.Counter("stats.memo.cost_hits"),
+		costMiss: reg.Counter("stats.memo.cost_misses"),
+	}
+}
+
+// Rows is Estimator.Rows through the session's memo.
+func (s *Session) Rows(n plan.Node) (float64, error) { return s.e.rows(n, s) }
+
+// PlanCost is Estimator.PlanCost through the session's memo.
+func (s *Session) PlanCost(n plan.Node) (float64, error) { return s.e.planCost(n, s) }
+
+// Estimator returns the underlying estimator (catalog and cost
+// model).
+func (s *Session) Estimator() *Estimator { return s.e }
 
 // hasEquiConjunct reports whether p contains a column = column
 // conjunct usable by a hash join.
