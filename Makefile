@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-par smoke bench bench-all clean
+.PHONY: all build vet test race race-par race-exec smoke bench bench-all clean
 
 all: vet build test
 
@@ -26,15 +26,26 @@ race-par:
 	$(GO) test -race -run 'TestParallelSaturation|TestSaturateWorkers|TestFingerprintConcurrent|TestSessionConcurrent|TestOptimizeWorkers' \
 		./internal/core/ ./internal/plan/ ./internal/stats/ ./internal/optimizer/
 
+# Focused race run for the partitioned executor: the grace-partitioned
+# join equivalence/determinism suite and the forced-collision tests.
+race-exec:
+	$(GO) test -race -run 'TestPartitioned|TestJoinExecParallel|TestRunParallel|TestColliding|TestHashJoinCollision|TestGroupByCollisions|TestDistinctAggCollisions|TestGenSelMGOJCollisions' \
+		./internal/executor/
+
 # Quick observability smoke: the concurrent registry/tracer tests.
 smoke:
 	$(GO) test -run TestObs -race ./internal/obs/...
 
-# Benchmark gate: measures saturation (serial vs parallel) and the
-# cost memo, writes BENCH_optimizer.json, and fails if the parallel
-# engine is slower than the serial one on the canned Q5 workload.
+# Benchmark gates: benchopt measures saturation (serial vs parallel)
+# and the cost memo, writes BENCH_optimizer.json, and fails if the
+# parallel engine is slower than the serial one on the canned Q5
+# workload; benchexec measures the physical operators (equi-join
+# serial vs grace-partitioned, hash aggregation, distinct projection),
+# writes BENCH_executor.json, and fails if the partitioned join loses
+# to the serial hash join on the large equi-join workload.
 bench:
 	$(GO) run ./cmd/benchopt -out BENCH_optimizer.json
+	$(GO) run ./cmd/benchexec -out BENCH_executor.json
 
 # The full go test benchmark sweep (root experiment benches included).
 bench-all:

@@ -108,6 +108,26 @@ func CountRel(rel string, out schema.Attribute) Aggregate {
 	return Aggregate{Func: Count, Arg: expr.Col{Attr: schema.RID(rel)}, Out: out}
 }
 
+// valueSet is a hash set of values bucketed by Hash64 with Equal
+// verification — the DISTINCT tracker of the duplicate-insensitive
+// aggregates, free of the per-value Key() rendering the string-keyed
+// map paid.
+type valueSet struct {
+	buckets map[uint64][]value.Value
+}
+
+// add inserts v and reports whether it was absent.
+func (s *valueSet) add(v value.Value) bool {
+	h := v.Hash64()
+	for _, o := range s.buckets[h] {
+		if value.Equal(v, o) {
+			return false
+		}
+	}
+	s.buckets[h] = append(s.buckets[h], v)
+	return true
+}
+
 // aggState accumulates one aggregate within one group.
 type aggState struct {
 	n        int64
@@ -115,13 +135,13 @@ type aggState struct {
 	sumF     float64
 	isFloat  bool
 	min, max value.Value
-	seen     map[string]bool
+	seen     *valueSet
 }
 
 func newAggState(f AggFunc) *aggState {
 	s := &aggState{min: value.Null, max: value.Null}
 	if f.DuplicateInsensitive() && f != Min && f != Max {
-		s.seen = make(map[string]bool)
+		s.seen = &valueSet{buckets: make(map[uint64][]value.Value)}
 	}
 	return s
 }
@@ -134,12 +154,8 @@ func (s *aggState) add(f AggFunc, v value.Value) {
 	if v.IsNull() {
 		return
 	}
-	if s.seen != nil {
-		k := v.Key()
-		if s.seen[k] {
-			return
-		}
-		s.seen[k] = true
+	if s.seen != nil && !s.seen.add(v) {
+		return
 	}
 	s.n++
 	switch f {
@@ -219,23 +235,33 @@ func GroupProject(groupBy []schema.Attribute, aggs []Aggregate, r *relation.Rela
 		key    relation.Tuple
 		states []*aggState
 	}
-	groups := make(map[string]*group)
-	var order []string
+	// Groups bucket by the key tuple's 64-bit hash with EqualTuple
+	// verification; the scratch key is cloned only when it opens a new
+	// group, so the per-row cost is hashing alone — no string
+	// rendering, no per-row key allocation.
+	groups := make(map[uint64][]*group)
+	var order []*group
+	scratch := make(relation.Tuple, len(keyIdx))
 
 	for _, t := range r.Tuples() {
-		key := make(relation.Tuple, len(keyIdx))
 		for i, j := range keyIdx {
-			key[i] = t[j]
+			scratch[i] = t[j]
 		}
-		k := key.Key()
-		g, ok := groups[k]
-		if !ok {
-			g = &group{key: key, states: make([]*aggState, len(aggs))}
+		h := scratch.Hash64()
+		var g *group
+		for _, cand := range groups[h] {
+			if cand.key.EqualTuple(scratch) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &group{key: scratch.Clone(), states: make([]*aggState, len(aggs))}
 			for i, a := range aggs {
 				g.states[i] = newAggState(a.Func)
 			}
-			groups[k] = g
-			order = append(order, k)
+			groups[h] = append(groups[h], g)
+			order = append(order, g)
 		}
 		env := expr.TupleEnv{Schema: r.Schema(), Tuple: t}
 		for i, a := range aggs {
@@ -258,8 +284,7 @@ func GroupProject(groupBy []schema.Attribute, aggs []Aggregate, r *relation.Rela
 		return out
 	}
 
-	for _, k := range order {
-		g := groups[k]
+	for _, g := range order {
 		row := make(relation.Tuple, 0, len(outAttrs))
 		row = append(row, g.key...)
 		for i, a := range aggs {

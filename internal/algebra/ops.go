@@ -214,7 +214,14 @@ func keys(set map[string]bool) []string {
 // exactly as the paper intends. The preserved tuples are padded with
 // NULLs for the remaining attributes of r.
 func GenSelect(p expr.Pred, preserved []map[string]bool, r *relation.Relation) (*relation.Relation, error) {
-	sel := Select(p, r)
+	return GenSelectWith(Select(p, r), preserved, r)
+}
+
+// GenSelectWith is GenSelect over a precomputed sel = σ_p(r): it
+// appends the preserved-projection compensation to sel's tuples. The
+// executor's parallel path computes σ_p(r) with partitioned workers
+// and reuses the compensation logic through this entry point.
+func GenSelectWith(sel *relation.Relation, preserved []map[string]bool, r *relation.Relation) (*relation.Relation, error) {
 	out := relation.New(r.Schema())
 	for _, t := range sel.Tuples() {
 		out.Append(t)

@@ -10,7 +10,6 @@ package executor
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/algebra"
 	"repro/internal/expr"
@@ -124,20 +123,44 @@ func splitEqui(pred expr.Pred, ls, rs *schema.Schema) (keys []equiKey, residual 
 	return keys, expr.And(rest...)
 }
 
-// hashKey renders the values at the given positions, or "" (no
-// match possible) when any is NULL — predicates are null
-// in-tolerant.
-func hashKey(t relation.Tuple, idx []int) (string, bool) {
-	var b strings.Builder
-	for _, i := range idx {
-		v := t[i]
-		if v.IsNull() {
-			return "", false
-		}
-		k := v.Key()
-		fmt.Fprintf(&b, "%d:%s|", len(k), k)
+// fastKey hashes the values at the given positions, or ok=false (no
+// match possible) when any is NULL — predicates are null in-tolerant.
+// It is the shared allocation-free key helper of every hashing path
+// (serial join, partitioned join, iterator join, instrumented runs):
+// a thin named wrapper over relation.Tuple.HashOn so all of them
+// measurably execute the same code. Bucket hits MUST be confirmed
+// with Tuple.EqualOn — hashes collide.
+func fastKey(t relation.Tuple, idx []int) (uint64, bool) {
+	return t.HashOn(idx)
+}
+
+// arenaChunkTuples is how many output tuples one arena slab holds;
+// per-worker arenas amortize row allocation to one make per slab.
+const arenaChunkTuples = 512
+
+// tupleArena hands out fixed-width tuples carved from chunked slabs.
+// Rows from one arena stay reachable as long as the output relation
+// does, which is the same lifetime the per-row make had.
+type tupleArena struct {
+	width  int
+	slab   []value.Value
+	chunks int
+	tuples int
+}
+
+func newTupleArena(width int) *tupleArena { return &tupleArena{width: width} }
+
+// next returns an uninitialized tuple of the arena's width, with
+// capacity clipped so appends never bleed into neighbouring rows.
+func (a *tupleArena) next() relation.Tuple {
+	if len(a.slab) < a.width {
+		a.slab = make([]value.Value, arenaChunkTuples*a.width)
+		a.chunks++
 	}
-	return b.String(), true
+	t := relation.Tuple(a.slab[:a.width:a.width])
+	a.slab = a.slab[a.width:]
+	a.tuples++
+	return t
 }
 
 // joinProbe collects the physical counters of one join execution for
@@ -147,7 +170,26 @@ type joinProbe struct {
 	BuildRows     int  // tuples hashed on the build (right) side
 	ResidualEvals int  // residual/loop predicate evaluations
 	NullPadded    int  // NULL-padded rows emitted for outer kinds
+	Collisions    int  // bucket hits rejected by key verification
+	Partitions    int  // grace partitions (0 = unpartitioned)
+	ArenaChunks   int  // output arena slabs allocated
 	NestedLoop    bool // true when no equi conjunct was hashable
+}
+
+// flushArenas folds arena totals into the probe and the process-wide
+// registry.
+func (st *joinProbe) flushArenas(arenas ...*tupleArena) {
+	chunks, tuples := 0, 0
+	for _, a := range arenas {
+		chunks += a.chunks
+		tuples += a.tuples
+	}
+	if st != nil {
+		st.ArenaChunks += chunks
+	}
+	reg := obs.Default()
+	reg.Counter("exec.arena.chunks").Add(int64(chunks))
+	reg.Counter("exec.arena.tuples").Add(int64(tuples))
 }
 
 // JoinExec joins two materialized relations with the given kind and
@@ -177,11 +219,11 @@ func joinExecProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, 
 	for i, k := range keys {
 		li[i], ri[i] = k.li, k.ri
 	}
-	// Build on the right input.
-	build := make(map[string][]int, r.Len())
+	// Build on the right input, bucketed by 64-bit key hash.
+	build := make(map[uint64][]int, r.Len())
 	for j, t := range r.Tuples() {
-		if k, ok := hashKey(t, ri); ok {
-			build[k] = append(build[k], j)
+		if h, ok := fastKey(t, ri); ok {
+			build[h] = append(build[h], j)
 			if st != nil {
 				st.BuildRows++
 			}
@@ -191,11 +233,17 @@ func joinExecProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, 
 	nl, nr := ls.Len(), rs.Len()
 	env := expr.TupleEnv{Schema: out.Schema()}
 	scratch := make(relation.Tuple, nl+nr)
+	arena := newTupleArena(nl + nr)
+	collisions := 0
 	for _, lt := range l.Tuples() {
 		matched := false
-		if k, ok := hashKey(lt, li); ok {
-			for _, j := range build[k] {
+		if h, ok := fastKey(lt, li); ok {
+			for _, j := range build[h] {
 				rt := r.Tuple(j)
+				if !lt.EqualOn(rt, li, ri) {
+					collisions++
+					continue
+				}
 				copy(scratch, lt)
 				copy(scratch[nl:], rt)
 				env.Tuple = scratch
@@ -205,14 +253,14 @@ func joinExecProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, 
 				if residual.Eval(env).Holds() {
 					matched = true
 					rightMatched[j] = true
-					row := make(relation.Tuple, nl+nr)
+					row := arena.next()
 					copy(row, scratch)
 					out.Append(row)
 				}
 			}
 		}
 		if !matched && (kind == plan.LeftJoin || kind == plan.FullJoin) {
-			row := make(relation.Tuple, nl+nr)
+			row := arena.next()
 			copy(row, lt)
 			for i := nl; i < nl+nr; i++ {
 				row[i] = value.Null
@@ -228,7 +276,7 @@ func joinExecProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, 
 			if rightMatched[j] {
 				continue
 			}
-			row := make(relation.Tuple, nl+nr)
+			row := arena.next()
 			for i := 0; i < nl; i++ {
 				row[i] = value.Null
 			}
@@ -239,6 +287,13 @@ func joinExecProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, 
 			out.Append(row)
 		}
 	}
+	if st != nil {
+		st.Collisions += collisions
+	}
+	if collisions > 0 {
+		obs.Default().Counter("exec.hash.collisions").Add(int64(collisions))
+	}
+	st.flushArenas(arena)
 	return out, nil
 }
 
@@ -307,6 +362,13 @@ func mgojExecProbe(m *plan.MGOJNode, l, r *relation.Relation, st *joinProbe) (*r
 	if err != nil {
 		return nil, err
 	}
+	return mgojCompensate(m, join, l, r, st)
+}
+
+// mgojCompensate appends MGOJ's preserved-projection padding to an
+// already-computed inner join of l and r; shared between the serial
+// and the partitioned MGOJ paths.
+func mgojCompensate(m *plan.MGOJNode, join, l, r *relation.Relation, st *joinProbe) (*relation.Relation, error) {
 	s := join.Schema()
 	out := relation.New(s)
 	for _, t := range join.Tuples() {

@@ -114,12 +114,22 @@ func recordJoinProbe(a *plan.Annotation, st *joinProbe, reg *obs.Registry) {
 	a.AddExtra("hash_build_rows", int64(st.BuildRows))
 	a.AddExtra("residual_evals", int64(st.ResidualEvals))
 	a.AddExtra("null_padded", int64(st.NullPadded))
+	if st.Collisions > 0 {
+		a.AddExtra("hash_collisions", int64(st.Collisions))
+	}
+	if st.Partitions > 0 {
+		a.AddExtra("hash_partitions", int64(st.Partitions))
+	}
+	if st.ArenaChunks > 0 {
+		a.AddExtra("arena_chunks", int64(st.ArenaChunks))
+	}
 	if st.NestedLoop {
 		a.AddExtra("nested_loop", 1)
 	}
 	reg.Counter("executor.hash_build_rows").Add(int64(st.BuildRows))
 	reg.Counter("executor.residual_evals").Add(int64(st.ResidualEvals))
 	reg.Counter("executor.null_padded").Add(int64(st.NullPadded))
+	reg.Counter("executor.hash_collisions").Add(int64(st.Collisions))
 }
 
 // opName returns the stable metric label of a plan operator.

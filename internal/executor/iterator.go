@@ -205,7 +205,7 @@ type joinIter struct {
 	keysL    []int
 	keysR    []int
 	residual expr.Pred
-	build    map[string][]int
+	build    map[uint64][]int
 	rightRel *relation.Relation
 	matched  []bool
 
@@ -251,11 +251,11 @@ func (j *joinIter) Open() error {
 		}
 		j.rightRel.Append(t)
 	}
-	j.build = make(map[string][]int, j.rightRel.Len())
+	j.build = make(map[uint64][]int, j.rightRel.Len())
 	if len(keys) > 0 {
 		for i, t := range j.rightRel.Tuples() {
-			if k, ok := hashKey(t, j.keysR); ok {
-				j.build[k] = append(j.build[k], i)
+			if h, ok := fastKey(t, j.keysR); ok {
+				j.build[h] = append(j.build[h], i)
 			}
 		}
 	}
@@ -287,8 +287,8 @@ func (j *joinIter) Next() (relation.Tuple, bool, error) {
 				j.curPos = 0
 				j.curMatched = false
 				if len(j.keysL) > 0 {
-					if k, ok := hashKey(t, j.keysL); ok {
-						j.curMatches = j.build[k]
+					if h, ok := fastKey(t, j.keysL); ok {
+						j.curMatches = j.build[h]
 					} else {
 						j.curMatches = nil
 					}
@@ -299,9 +299,13 @@ func (j *joinIter) Next() (relation.Tuple, bool, error) {
 			for j.curPos < len(j.curMatches) {
 				ri := j.curMatches[j.curPos]
 				j.curPos++
+				rt := j.rightRel.Tuple(ri)
+				if len(j.keysL) > 0 && !j.cur.EqualOn(rt, j.keysL, j.keysR) {
+					continue // hash collision: bucket hit, unequal keys
+				}
 				row := make(relation.Tuple, j.nl+j.nr)
 				copy(row, j.cur)
-				copy(row[j.nl:], j.rightRel.Tuple(ri))
+				copy(row[j.nl:], rt)
 				if j.residual.Eval(expr.TupleEnv{Schema: j.out, Tuple: row}).Holds() {
 					j.curMatched = true
 					j.matched[ri] = true

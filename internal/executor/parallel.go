@@ -4,15 +4,18 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/algebra"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/schema"
-	"repro/internal/value"
 )
 
-// RunParallel executes a plan like Run, but partitions hash-join
-// probes across workers goroutines (0 = GOMAXPROCS). Join output
+// RunParallel executes a plan like Run, but runs hash joins (plain
+// Join and the join inside MGOJ) through the grace-partitioned engine
+// and partitions selection scans — including the σ_p of generalized
+// selection — across workers goroutines (0 = GOMAXPROCS). Join output
 // order differs from Run's; results are equal as sets/multisets,
 // which is the relational contract.
 func RunParallel(n plan.Node, db plan.Database, workers int) (*relation.Relation, error) {
@@ -29,7 +32,36 @@ func RunParallel(n plan.Node, db plan.Database, workers int) (*relation.Relation
 		if err != nil {
 			return nil, err
 		}
-		return parallelJoin(m.Kind, m.Pred, l, r, workers)
+		return partitionedJoinProbe(m.Kind, m.Pred, l, r, workers, nil)
+	case *plan.MGOJNode:
+		l, err := RunParallel(m.L, db, workers)
+		if err != nil {
+			return nil, err
+		}
+		r, err := RunParallel(m.R, db, workers)
+		if err != nil {
+			return nil, err
+		}
+		obs.Default().Counter("exec.parallel.mgoj").Inc()
+		join, err := partitionedJoinProbe(plan.InnerJoin, m.Pred, l, r, workers, nil)
+		if err != nil {
+			return nil, err
+		}
+		// The preserved-projection compensation is a handful of
+		// hash-based distinct projections and set differences over the
+		// (usually small) padded remainder; it runs serially.
+		return mgojCompensate(m, join, l, r, nil)
+	case *plan.GenSel:
+		in, err := RunParallel(m.Input, db, workers)
+		if err != nil {
+			return nil, err
+		}
+		obs.Default().Counter("exec.parallel.gensel").Inc()
+		specs := make([]map[string]bool, len(m.Preserved))
+		for i, s := range m.Preserved {
+			specs[i] = s.Set()
+		}
+		return algebra.GenSelectWith(parallelSelect(m.Pred, in, workers), specs, in)
 	case *plan.Select:
 		in, err := RunParallel(m.Input, db, workers)
 		if err != nil {
@@ -125,102 +157,3 @@ func seqSelect(p expr.Pred, in *relation.Relation) *relation.Relation {
 	return out
 }
 
-// parallelJoin partitions the probe (left) side across workers; each
-// worker tracks its own right-side match bitmap, merged before the
-// unmatched-right sweep.
-func parallelJoin(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, workers int) (*relation.Relation, error) {
-	ls, rs := l.Schema(), r.Schema()
-	keys, residual := splitEqui(pred, ls, rs)
-	if len(keys) == 0 || l.Len() < 4*workers {
-		return JoinExec(kind, pred, l, r)
-	}
-	li := make([]int, len(keys))
-	ri := make([]int, len(keys))
-	for i, k := range keys {
-		li[i], ri[i] = k.li, k.ri
-	}
-	build := make(map[string][]int, r.Len())
-	for j, t := range r.Tuples() {
-		if k, ok := hashKey(t, ri); ok {
-			build[k] = append(build[k], j)
-		}
-	}
-	outSchema := ls.Concat(rs)
-	nl, nr := ls.Len(), rs.Len()
-	n := l.Len()
-	chunk := (n + workers - 1) / workers
-	outs := make([][]relation.Tuple, workers)
-	matched := make([][]bool, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, n)
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			env := expr.TupleEnv{Schema: outSchema}
-			my := make([]bool, r.Len())
-			var rows []relation.Tuple
-			scratch := make(relation.Tuple, nl+nr)
-			for i := lo; i < hi; i++ {
-				lt := l.Tuple(i)
-				found := false
-				if k, ok := hashKey(lt, li); ok {
-					for _, j := range build[k] {
-						copy(scratch, lt)
-						copy(scratch[nl:], r.Tuple(j))
-						env.Tuple = scratch
-						if residual.Eval(env).Holds() {
-							found = true
-							my[j] = true
-							row := make(relation.Tuple, nl+nr)
-							copy(row, scratch)
-							rows = append(rows, row)
-						}
-					}
-				}
-				if !found && (kind == plan.LeftJoin || kind == plan.FullJoin) {
-					row := make(relation.Tuple, nl+nr)
-					copy(row, lt)
-					for x := nl; x < nl+nr; x++ {
-						row[x] = value.Null
-					}
-					rows = append(rows, row)
-				}
-			}
-			outs[w] = rows
-			matched[w] = my
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	out := relation.New(outSchema)
-	for _, part := range outs {
-		for _, t := range part {
-			out.Append(t)
-		}
-	}
-	if kind == plan.RightJoin || kind == plan.FullJoin {
-		for j := 0; j < r.Len(); j++ {
-			hit := false
-			for w := range matched {
-				if matched[w] != nil && matched[w][j] {
-					hit = true
-					break
-				}
-			}
-			if hit {
-				continue
-			}
-			row := make(relation.Tuple, nl+nr)
-			for x := 0; x < nl; x++ {
-				row[x] = value.Null
-			}
-			copy(row[nl:], r.Tuple(j))
-			out.Append(row)
-		}
-	}
-	return out, nil
-}

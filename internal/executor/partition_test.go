@@ -1,0 +1,166 @@
+package executor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// bigDB builds relations large enough (≥ minPartitionRows combined)
+// that the grace-partitioned join engages rather than falling back to
+// the serial join.
+func bigDB(rng *rand.Rand, rows, domain int, rels ...string) plan.Database {
+	db := make(plan.Database, len(rels))
+	for _, name := range rels {
+		b := relation.NewBuilder(name, "x", "y")
+		n := rows/2 + rng.Intn(rows/2+1)
+		for i := 0; i < n; i++ {
+			vals := make([]value.Value, 2)
+			for j := range vals {
+				if rng.Intn(10) == 0 {
+					vals[j] = value.Null
+				} else {
+					vals[j] = value.NewInt(int64(rng.Intn(domain)))
+				}
+			}
+			b.Row(vals...)
+		}
+		db[name] = b.Relation()
+	}
+	return db
+}
+
+// TestPartitionedRunParallelMatchesRun is the multiset-equivalence
+// property of the partitioned engine: Run, RunParallel and the
+// partitioned join agree (as multisets) on randomized relations with
+// NULL keys, across worker counts, for every join kind plus MGOJ,
+// generalized selection and aggregation. make race-exec runs it under
+// the race detector.
+func TestPartitionedRunParallelMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(117))
+	lt := func(a, b string) expr.Pred {
+		return expr.Cmp{Op: value.LT, L: expr.Column(a, "y"), R: expr.Column(b, "y")}
+	}
+	plans := []plan.Node{
+		plan.NewJoin(plan.InnerJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2")),
+		plan.NewJoin(plan.LeftJoin, expr.And(eqX("r1", "r2"), lt("r1", "r2")),
+			plan.NewScan("r1"), plan.NewScan("r2")),
+		plan.NewJoin(plan.RightJoin, eqY("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2")),
+		plan.NewJoin(plan.FullJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2")),
+		plan.NewMGOJ(eqX("r2", "r3"), []plan.PreservedSpec{plan.NewPreserved("r1")},
+			plan.NewJoin(plan.LeftJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2")),
+			plan.NewScan("r3")),
+		plan.NewGenSel(eqY("r1", "r3"), []plan.PreservedSpec{plan.NewPreserved("r1", "r2")},
+			plan.NewJoin(plan.LeftJoin, eqX("r2", "r3"),
+				plan.NewJoin(plan.LeftJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2")),
+				plan.NewScan("r3"))),
+		plan.NewGroupBy(
+			[]schema.Attribute{schema.Attr("r1", "x")},
+			[]algebra.Aggregate{{Func: algebra.Count, Arg: expr.Column("r2", "y"), Out: schema.Attr("q", "c")}},
+			plan.NewJoin(plan.LeftJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2"))),
+	}
+	for pi, p := range plans {
+		for trial := 0; trial < 3; trial++ {
+			db := bigDB(rng, 400, 23, "r1", "r2", "r3")
+			want, err := Run(p, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 3, 8, 0} {
+				got, err := RunParallel(p, db, workers)
+				if err != nil {
+					t.Fatalf("plan %d workers %d: %v", pi, workers, err)
+				}
+				if !got.EqualAsMultisets(want) {
+					t.Fatalf("plan %d workers %d trial %d: partitioned run differs from Run", pi, workers, trial)
+				}
+			}
+		}
+	}
+}
+
+// TestJoinExecParallelMatchesSerial pins the partitioned join itself
+// (not the full plan walker) against JoinExec for every kind,
+// including residual predicates on top of the equi conjunct.
+func TestJoinExecParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	db := bigDB(rng, 500, 17, "r1", "r2")
+	l, r := db["r1"], db["r2"]
+	residual := expr.Cmp{Op: value.LT, L: expr.Column("r1", "y"), R: expr.Column("r2", "y")}
+	preds := []expr.Pred{
+		eqX("r1", "r2"),
+		expr.And(eqX("r1", "r2"), residual),
+		expr.And(eqX("r1", "r2"), eqY("r1", "r2")),
+	}
+	kinds := []plan.JoinKind{plan.InnerJoin, plan.LeftJoin, plan.RightJoin, plan.FullJoin}
+	for _, pred := range preds {
+		for _, kind := range kinds {
+			want, err := JoinExec(kind, pred, l, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 3, 5, 8} {
+				got, err := JoinExecParallel(kind, pred, l, r, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.EqualAsMultisets(want) {
+					t.Fatalf("kind %v workers %d pred %s: partitioned join differs", kind, workers, pred)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionedJoinDeterministic: the merge is deterministic — two
+// runs with the same inputs produce tuple-for-tuple identical output.
+func TestPartitionedJoinDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := bigDB(rng, 400, 11, "r1", "r2")
+	pred := eqX("r1", "r2")
+	a, err := JoinExecParallel(plan.FullJoin, pred, db["r1"], db["r2"], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JoinExecParallel(plan.FullJoin, pred, db["r1"], db["r2"], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.Tuple(i).EqualTuple(b.Tuple(i)) {
+			t.Fatalf("row %d differs between identical runs", i)
+		}
+	}
+}
+
+// TestPartitionedJoinCounters: the partitioned path reports its
+// partition fan-out through obs and the joinProbe.
+func TestPartitionedJoinCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	db := bigDB(rng, 500, 13, "r1", "r2")
+	before := obs.Default().Counter("exec.hash.partitions").Value()
+	st := &joinProbe{}
+	if _, err := partitionedJoinProbe(plan.InnerJoin, eqX("r1", "r2"), db["r1"], db["r2"], 4, st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Partitions != 4 {
+		t.Errorf("probe partitions = %d, want 4", st.Partitions)
+	}
+	if st.BuildRows == 0 {
+		t.Error("probe build rows not recorded")
+	}
+	got := obs.Default().Counter("exec.hash.partitions").Value() - before
+	if got != 4 {
+		t.Errorf("exec.hash.partitions delta = %d, want 4", got)
+	}
+}

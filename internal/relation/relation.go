@@ -37,6 +37,140 @@ func (t Tuple) Key() string {
 	return b.String()
 }
 
+// Hash64 returns an allocation-free, order-sensitive 64-bit hash of
+// the whole tuple, consistent with EqualTuple: equal tuples hash
+// equal. Unequal tuples may collide (value.Hash64 merges numeric
+// identities through float64), so hash consumers must confirm bucket
+// hits with EqualTuple.
+func (t Tuple) Hash64() uint64 {
+	h := value.HashSeed
+	for _, v := range t {
+		h = value.HashCombine(h, v.Hash64())
+	}
+	return h
+}
+
+// HashOn hashes the values at the given column positions. It reports
+// ok=false when any of them is NULL — the form used for join and
+// grouping keys under null in-tolerant predicates, where a NULL key
+// can never match.
+func (t Tuple) HashOn(idx []int) (h uint64, ok bool) {
+	h = value.HashSeed
+	for _, i := range idx {
+		v := t[i]
+		if v.IsNull() {
+			return 0, false
+		}
+		h = value.HashCombine(h, v.Hash64())
+	}
+	return h, true
+}
+
+// EqualTuple reports pointwise value.Equal between t and o (NULL
+// identical to NULL) — the identity equality behind Key, used to
+// verify Hash64 bucket hits.
+func (t Tuple) EqualTuple(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i, v := range t {
+		if !value.Equal(v, o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualOn reports pointwise value.Equal between t's columns ti and
+// o's columns oi; the slices must have equal length.
+func (t Tuple) EqualOn(o Tuple, ti, oi []int) bool {
+	for k, i := range ti {
+		if !value.Equal(t[i], o[oi[k]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// tupleSet is a hash set of tuples bucketed by Hash64 with EqualTuple
+// verification; it replaces string-keyed maps on the duplicate
+// elimination and set difference paths, where rendering Key for every
+// tuple dominated the profile.
+type tupleSet struct {
+	buckets map[uint64][]Tuple
+	n       int
+}
+
+func newTupleSet(capacity int) *tupleSet {
+	return &tupleSet{buckets: make(map[uint64][]Tuple, capacity)}
+}
+
+// Add inserts t and reports whether it was absent.
+func (s *tupleSet) Add(t Tuple) bool {
+	h := t.Hash64()
+	for _, o := range s.buckets[h] {
+		if t.EqualTuple(o) {
+			return false
+		}
+	}
+	s.buckets[h] = append(s.buckets[h], t)
+	s.n++
+	return true
+}
+
+// Has reports membership.
+func (s *tupleSet) Has(t Tuple) bool {
+	for _, o := range s.buckets[t.Hash64()] {
+		if t.EqualTuple(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// tupleCounter is a hash multiset of tuples, the multiset analogue of
+// tupleSet.
+type tupleCounter struct {
+	buckets map[uint64][]tupleCount
+}
+
+type tupleCount struct {
+	t Tuple
+	n int
+}
+
+func newTupleCounter(capacity int) *tupleCounter {
+	return &tupleCounter{buckets: make(map[uint64][]tupleCount, capacity)}
+}
+
+// Inc adds one occurrence of t.
+func (c *tupleCounter) Inc(t Tuple) {
+	h := t.Hash64()
+	b := c.buckets[h]
+	for i := range b {
+		if t.EqualTuple(b[i].t) {
+			b[i].n++
+			return
+		}
+	}
+	c.buckets[h] = append(b, tupleCount{t: t, n: 1})
+}
+
+// Dec removes one occurrence of t, reporting false when none remains.
+func (c *tupleCounter) Dec(t Tuple) bool {
+	b := c.buckets[t.Hash64()]
+	for i := range b {
+		if t.EqualTuple(b[i].t) {
+			if b[i].n == 0 {
+				return false
+			}
+			b[i].n--
+			return true
+		}
+	}
+	return false
+}
+
 // Relation is a schema plus a multiset of tuples.
 type Relation struct {
 	schema *schema.Schema
@@ -68,6 +202,19 @@ func (r *Relation) Append(t Tuple) {
 		panic(fmt.Sprintf("relation: tuple arity %d does not match schema %s", len(t), r.schema))
 	}
 	r.tuples = append(r.tuples, t)
+}
+
+// AppendAll adds a batch of tuples; it panics if any arity does not
+// match the schema. It is the merge step of partition-parallel
+// operators, which accumulate per-partition slices and concatenate.
+func (r *Relation) AppendAll(ts []Tuple) {
+	want := r.schema.Len()
+	for _, t := range ts {
+		if len(t) != want {
+			panic(fmt.Sprintf("relation: tuple arity %d does not match schema %s", len(t), r.schema))
+		}
+	}
+	r.tuples = append(r.tuples, ts...)
 }
 
 // Value returns the value of attribute a in tuple t of this
@@ -123,21 +270,17 @@ func (r *Relation) Project(attrs []schema.Attribute, distinct bool) *Relation {
 		}
 	}
 	out := New(schema.New(attrs...))
-	var seen map[string]bool
+	var seen *tupleSet
 	if distinct {
-		seen = make(map[string]bool, len(r.tuples))
+		seen = newTupleSet(len(r.tuples))
 	}
 	for _, t := range r.tuples {
 		nt := make(Tuple, len(idx))
 		for i, j := range idx {
 			nt[i] = t[j]
 		}
-		if distinct {
-			k := nt.Key()
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
+		if distinct && !seen.Add(nt) {
+			continue
 		}
 		out.Append(nt)
 	}
@@ -154,17 +297,19 @@ func (r *Relation) Minus(other *Relation) *Relation {
 			panic(fmt.Sprintf("relation: minus with incompatible schema %s vs %s", r.schema, other.schema))
 		}
 	}
-	seen := make(map[string]bool, other.Len())
+	seen := newTupleSet(other.Len())
+	scratch := make(Tuple, len(align))
 	for _, t := range other.tuples {
-		nt := make(Tuple, len(align))
 		for i, j := range align {
-			nt[i] = t[j]
+			scratch[i] = t[j]
 		}
-		seen[nt.Key()] = true
+		if !seen.Has(scratch) {
+			seen.Add(scratch.Clone())
+		}
 	}
 	out := New(r.schema)
 	for _, t := range r.tuples {
-		if !seen[t.Key()] {
+		if !seen.Has(t) {
 			out.Append(t)
 		}
 	}
@@ -261,20 +406,22 @@ func (r *Relation) EqualAsSets(other *Relation) bool {
 		return false
 	}
 	o := other.Reorder(r.schema)
-	a := make(map[string]bool, r.Len())
+	a := newTupleSet(r.Len())
 	for _, t := range r.tuples {
-		a[t.Key()] = true
+		a.Add(t)
 	}
-	b := make(map[string]bool, o.Len())
+	b := newTupleSet(o.Len())
 	for _, t := range o.tuples {
-		b[t.Key()] = true
+		b.Add(t)
 	}
-	if len(a) != len(b) {
+	if a.n != b.n {
 		return false
 	}
-	for k := range a {
-		if !b[k] {
-			return false
+	for _, bucket := range b.buckets {
+		for _, t := range bucket {
+			if !a.Has(t) {
+				return false
+			}
 		}
 	}
 	return true
@@ -290,13 +437,12 @@ func (r *Relation) EqualAsMultisets(other *Relation) bool {
 	if r.Len() != o.Len() {
 		return false
 	}
-	counts := make(map[string]int, r.Len())
+	counts := newTupleCounter(r.Len())
 	for _, t := range r.tuples {
-		counts[t.Key()]++
+		counts.Inc(t)
 	}
 	for _, t := range o.tuples {
-		counts[t.Key()]--
-		if counts[t.Key()] < 0 {
+		if !counts.Dec(t) {
 			return false
 		}
 	}

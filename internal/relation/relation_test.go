@@ -205,3 +205,80 @@ func TestTupleKeyDistinguishesBoundaries(t *testing.T) {
 		t.Error("tuple keys must respect value boundaries")
 	}
 }
+
+// TestTupleHash64MatchesKey: the hash identity agrees with the string
+// Key identity (both mirror pointwise value.Equal) on a spread of
+// tuples, and EqualTuple agrees with Key equality.
+func TestTupleHash64MatchesKey(t *testing.T) {
+	tuples := []Tuple{
+		{},
+		{value.Null},
+		{value.Null, value.Null},
+		{value.NewInt(1)},
+		{value.NewFloat(1)},
+		{value.NewInt(1), value.NewInt(2)},
+		{value.NewInt(2), value.NewInt(1)},
+		{value.NewString("ab"), value.NewString("c")},
+		{value.NewString("a"), value.NewString("bc")},
+		{value.NewBool(true)},
+		{value.NewBool(false)},
+	}
+	for i, a := range tuples {
+		for j, b := range tuples {
+			keyEq := a.Key() == b.Key() && len(a) == len(b)
+			if a.EqualTuple(b) != keyEq {
+				t.Errorf("EqualTuple(%d,%d)=%v, Key equality %v", i, j, a.EqualTuple(b), keyEq)
+			}
+			if keyEq && a.Hash64() != b.Hash64() {
+				t.Errorf("tuples %d,%d equal but hashes differ", i, j)
+			}
+		}
+	}
+}
+
+// TestHashOnNullKeys: HashOn refuses NULL keys (null in-tolerant
+// join semantics) while Hash64 over whole tuples accepts them.
+func TestHashOnNullKeys(t *testing.T) {
+	tu := Tuple{value.NewInt(1), value.Null}
+	if _, ok := tu.HashOn([]int{0}); !ok {
+		t.Error("non-NULL key column must hash")
+	}
+	if _, ok := tu.HashOn([]int{0, 1}); ok {
+		t.Error("NULL key column must not hash")
+	}
+	_ = tu.Hash64() // whole-tuple identity hash must tolerate NULLs
+}
+
+// TestSetOpsUnderForcedCollisions drives distinct projection, Minus
+// and the multiset comparators through tuples that collide in Hash64
+// (distinct ints sharing a float64 image) and checks the collision
+// verification keeps them apart.
+func TestSetOpsUnderForcedCollisions(t *testing.T) {
+	const big = int64(1) << 53
+	a := value.NewInt(big)
+	b := value.NewInt(big + 1)
+	if (Tuple{a}).Hash64() != (Tuple{b}).Hash64() {
+		t.Fatal("test premise: tuples must collide")
+	}
+	r := New(schema.Base("r", "x"))
+	r.Append(Tuple{a, value.NewInt(0)})
+	r.Append(Tuple{b, value.NewInt(1)})
+	r.Append(Tuple{a, value.NewInt(2)})
+	x := []schema.Attribute{schema.Attr("r", "x")}
+	if got := r.Project(x, true).Len(); got != 2 {
+		t.Errorf("distinct over colliding values = %d rows, want 2", got)
+	}
+	other := New(schema.New(schema.Attr("r", "x")))
+	other.Append(Tuple{a})
+	proj := r.Project(x, false)
+	if got := proj.Minus(other).Len(); got != 1 {
+		t.Errorf("minus under collision = %d rows, want 1", got)
+	}
+	one := New(schema.New(schema.Attr("r", "x")))
+	one.Append(Tuple{a})
+	two := New(schema.New(schema.Attr("r", "x")))
+	two.Append(Tuple{b})
+	if one.EqualAsSets(two) || one.EqualAsMultisets(two) {
+		t.Error("colliding but unequal tuples must not compare equal")
+	}
+}

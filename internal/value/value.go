@@ -12,6 +12,7 @@ package value
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 )
 
@@ -376,6 +377,77 @@ func Equal(a, b Value) bool {
 	}
 	return false
 }
+
+// Per-kind hash seeds; arbitrary odd 64-bit constants. Numeric kinds
+// share one seed because Equal merges INT and FLOAT identities.
+const (
+	hashSeedNull    uint64 = 0x9e3779b97f4a7c15
+	hashSeedNumeric uint64 = 0xc2b2ae3d27d4eb4f
+	hashSeedString  uint64 = 0x165667b19e3779f9
+	hashSeedBool    uint64 = 0x27d4eb2f165667c5
+)
+
+// FNV-1a parameters, shared with the tuple-level combiners in the
+// relation package.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// mix64 is the splitmix64 finalizer: a cheap full-avalanche mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Hash64 returns an allocation-free 64-bit hash consistent with Equal:
+// Equal(a, b) implies a.Hash64() == b.Hash64(). Numeric values hash
+// through their float64 image (with -0 collapsed onto +0) so that INT 3
+// and FLOAT 3.0 land in the same bucket, exactly as Equal merges them.
+// Distinct huge ints that share a float64 image therefore collide;
+// consumers must confirm bucket hits with Equal (collision
+// verification), never treat hash equality as identity.
+func (v Value) Hash64() uint64 {
+	switch v.kind {
+	case KindNull:
+		return hashSeedNull
+	case KindInt:
+		return hashFloat64(float64(v.i))
+	case KindFloat:
+		return hashFloat64(v.f)
+	case KindString:
+		h := fnvOffset64
+		for i := 0; i < len(v.s); i++ {
+			h ^= uint64(v.s[i])
+			h *= fnvPrime64
+		}
+		return mix64(h ^ hashSeedString)
+	case KindBool:
+		if v.b {
+			return mix64(hashSeedBool ^ 1)
+		}
+		return mix64(hashSeedBool)
+	}
+	return 0
+}
+
+func hashFloat64(f float64) uint64 {
+	if f == 0 {
+		f = 0 // collapse -0 onto +0: Equal treats them as identical
+	}
+	return mix64(hashSeedNumeric ^ math.Float64bits(f))
+}
+
+// HashCombine folds one value hash into a running order-sensitive
+// tuple hash (FNV-1a style over 64-bit lanes). Start from HashSeed.
+func HashCombine(h, vh uint64) uint64 { return (h ^ vh) * fnvPrime64 }
+
+// HashSeed is the initial accumulator for HashCombine chains.
+const HashSeed = fnvOffset64
 
 // Key returns a string that is equal for exactly the values that
 // Equal treats as identical. It is used as a map key for grouping and

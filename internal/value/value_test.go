@@ -179,6 +179,60 @@ func TestKeyEqualConsistency(t *testing.T) {
 	}
 }
 
+// TestHash64EqualConsistency: Equal(a,b) implies equal hashes — the
+// contract every collision-verified hash consumer relies on. (The
+// converse need not hold: hashes may collide.)
+func TestHash64EqualConsistency(t *testing.T) {
+	f := func(a, b Value) bool {
+		if Equal(a, b) && a.Hash64() != b.Hash64() {
+			return false
+		}
+		return a.Hash64() == a.Hash64() // deterministic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHash64Identities(t *testing.T) {
+	if NewInt(3).Hash64() != NewFloat(3).Hash64() {
+		t.Error("numerically equal int/float must share a hash bucket")
+	}
+	if NewFloat(0).Hash64() != NewFloat(negZero()).Hash64() {
+		t.Error("-0 and +0 are Equal and must share a hash bucket")
+	}
+	if Null.Hash64() != Null.Hash64() {
+		t.Error("NULL hash must be stable")
+	}
+	kinds := []Value{Null, NewInt(0), NewString(""), NewBool(false), NewBool(true)}
+	seen := map[uint64]Value{}
+	for _, v := range kinds {
+		if prev, dup := seen[v.Hash64()]; dup {
+			t.Errorf("kind-level collision between %#v and %#v", prev, v)
+		}
+		seen[v.Hash64()] = v
+	}
+}
+
+// TestHash64HugeIntCollision pins the documented collision: distinct
+// int64s beyond 2^53 that share a float64 image hash equal while Equal
+// keeps them apart — exactly the case collision verification exists
+// for (and the case the adversarial executor tests exploit).
+func TestHash64HugeIntCollision(t *testing.T) {
+	a, b := NewInt(1<<53), NewInt(1<<53+1)
+	if Equal(a, b) {
+		t.Fatal("2^53 and 2^53+1 are distinct ints")
+	}
+	if a.Hash64() != b.Hash64() {
+		t.Fatal("expected a hash collision through the float64 image")
+	}
+}
+
+func negZero() float64 {
+	z := 0.0
+	return -z
+}
+
 func TestEqualNullIdentity(t *testing.T) {
 	if !Equal(Null, Null) {
 		t.Error("NULL must be identical to NULL for grouping")
