@@ -1,8 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet test race race-par race-exec smoke bench bench-all clean
+.PHONY: all build vet test race race-par race-exec smoke bench bench-all check clean
 
 all: vet build test
+
+# The full pre-merge gauntlet: static checks, build, the tier-1 test
+# suite, and both benchmark regression gates.
+check: vet build test bench
 
 build:
 	$(GO) build ./...
@@ -20,10 +24,11 @@ race:
 	$(GO) test -race ./...
 
 # Focused race run for the parallel optimizer paths: saturation
-# worker-pool equivalence, the fingerprint cache and the shared cost
-# session.
+# worker-pool equivalence, the fingerprint cache, the shared cost
+# session, and the memo engine's saturation-equality and
+# worker-determinism property suite.
 race-par:
-	$(GO) test -race -run 'TestParallelSaturation|TestSaturateWorkers|TestFingerprintConcurrent|TestSessionConcurrent|TestOptimizeWorkers' \
+	$(GO) test -race -run 'TestParallelSaturation|TestSaturateWorkers|TestFingerprintConcurrent|TestSessionConcurrent|TestOptimizeWorkers|TestMemo' \
 		./internal/core/ ./internal/plan/ ./internal/stats/ ./internal/optimizer/
 
 # Focused race run for the partitioned executor: the grace-partitioned
@@ -36,10 +41,11 @@ race-exec:
 smoke:
 	$(GO) test -run TestObs -race ./internal/obs/...
 
-# Benchmark gates: benchopt measures saturation (serial vs parallel)
-# and the cost memo, writes BENCH_optimizer.json, and fails if the
-# parallel engine is slower than the serial one on the canned Q5
-# workload; benchexec measures the physical operators (equi-join
+# Benchmark gates: benchopt measures saturation (serial vs parallel),
+# the memo engine vs saturation end-to-end, and the cost memo, writes
+# BENCH_optimizer.json, and fails if the parallel engine is slower
+# than the serial one — or the memo engine slower than saturation —
+# on the canned workloads; benchexec measures the physical operators (equi-join
 # serial vs grace-partitioned, hash aggregation, distinct projection),
 # writes BENCH_executor.json, and fails if the partitioned join loses
 # to the serial hash join on the large equi-join workload.

@@ -14,7 +14,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +21,7 @@ import (
 	"testing"
 
 	"repro/internal/algebra"
+	"repro/internal/benchgate"
 	"repro/internal/executor"
 	"repro/internal/expr"
 	"repro/internal/plan"
@@ -30,34 +30,9 @@ import (
 	"repro/internal/value"
 )
 
-// benchResult is one workload's measurement.
-type benchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     int64   `json:"nsPerOp"`
-	BytesPerOp  int64   `json:"bytesPerOp"`
-	AllocsPerOp int64   `json:"allocsPerOp"`
-	MsPerOp     float64 `json:"msPerOp"`
-}
-
-// seedBaseline is a pre-change measurement kept for comparison.
-type seedBaseline struct {
-	Name        string  `json:"name"`
-	MsPerOp     float64 `json:"msPerOp"`
-	BytesPerOp  int64   `json:"bytesPerOp"`
-	AllocsPerOp int64   `json:"allocsPerOp"`
-	Note        string  `json:"note"`
-}
-
 // report is the BENCH_executor.json schema.
 type report struct {
-	GoMaxProcs int    `json:"gomaxprocs"`
-	GoVersion  string `json:"goVersion"`
-	// SeedBaselines are the same workloads measured at the pre-change
-	// commit (string hash keys via fmt.Fprintf, per-row tuple
-	// allocation, probe-chunked parallelism only).
-	SeedBaselines []seedBaseline `json:"seedBaselines"`
-	Results       []benchResult  `json:"results"`
+	benchgate.Header
 	// SpeedupEquiJoin is seed EquiJoinLarge ms / current serial ms.
 	SpeedupEquiJoin float64 `json:"speedupEquiJoin"`
 	// SpeedupEquiJoinPartitioned is seed EquiJoinLarge ms / current
@@ -71,7 +46,7 @@ type report struct {
 
 // Seed numbers measured at the pre-change commit on this container
 // (GOMAXPROCS=1, Intel Xeon 2.10GHz); see BENCH_executor.json history.
-var seeds = []seedBaseline{
+var seeds = []benchgate.SeedBaseline{
 	{Name: "EquiJoinLarge", MsPerOp: 51.2, BytesPerOp: 27468448, AllocsPerOp: 519968,
 		Note: "40k x 40k inner equi-join, string hash keys rendered per tuple via fmt.Fprintf"},
 	{Name: "HashAgg", MsPerOp: 87.6, BytesPerOp: 29500446, AllocsPerOp: 1385053,
@@ -106,33 +81,17 @@ func distinctInput() *relation.Relation {
 	return b.Relation()
 }
 
-func run(name string, results *[]benchResult, f func(b *testing.B)) benchResult {
-	r := testing.Benchmark(f)
-	res := benchResult{
-		Name:        name,
-		Iterations:  r.N,
-		NsPerOp:     r.NsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
-		MsPerOp:     float64(r.NsPerOp()) / 1e6,
-	}
-	*results = append(*results, res)
-	fmt.Printf("%-28s %4d iter  %10.2f ms/op  %12d B/op  %9d allocs/op\n",
-		name, res.Iterations, res.MsPerOp, res.BytesPerOp, res.AllocsPerOp)
-	return res
-}
-
 func main() {
 	out := flag.String("out", "BENCH_executor.json", "where to write the JSON report")
 	tolerance := flag.Float64("tolerance", 1.10, "max allowed partitioned/serial time ratio on the equi-join before failing")
 	flag.Parse()
 
 	fmt.Printf("benchexec: GOMAXPROCS=%d %s\n", runtime.GOMAXPROCS(0), runtime.Version())
-	var results []benchResult
+	var results []benchgate.Result
 
 	l, r := joinInputs(40000)
 	joinPred := expr.EqCols("l", "x", "r", "x")
-	serialJoin := run("EquiJoinLarge/serial", &results, func(b *testing.B) {
+	serialJoin := benchgate.Run("EquiJoinLarge/serial", &results, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			out, err := executor.JoinExec(plan.InnerJoin, joinPred, l, r)
@@ -144,7 +103,7 @@ func main() {
 			}
 		}
 	})
-	partJoin := run("EquiJoinLarge/partitioned", &results, func(b *testing.B) {
+	partJoin := benchgate.Run("EquiJoinLarge/partitioned", &results, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			out, err := executor.JoinExecParallel(plan.InnerJoin, joinPred, l, r, 0)
@@ -163,7 +122,7 @@ func main() {
 		{Func: algebra.CountStar, Out: schema.Attr("q", "n")},
 		{Func: algebra.Sum, Arg: expr.Column("t", "y"), Out: schema.Attr("q", "s")},
 	}
-	hashAgg := run("HashAgg", &results, func(b *testing.B) {
+	hashAgg := benchgate.Run("HashAgg", &results, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if out := algebra.GroupProject(aggKeys, aggs, aggRel); out.Len() != 1000 {
@@ -174,7 +133,7 @@ func main() {
 
 	distRel := distinctInput()
 	distAttrs := []schema.Attribute{schema.Attr("t", "x"), schema.Attr("t", "y")}
-	distinct := run("DistinctProject", &results, func(b *testing.B) {
+	distinct := benchgate.Run("DistinctProject", &results, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if out := distRel.Project(distAttrs, true); out.Len() != 55000 {
@@ -184,22 +143,13 @@ func main() {
 	})
 
 	rep := report{
-		GoMaxProcs:                 runtime.GOMAXPROCS(0),
-		GoVersion:                  runtime.Version(),
-		SeedBaselines:              seeds,
-		Results:                    results,
+		Header:                     benchgate.NewHeader(seeds, results),
 		SpeedupEquiJoin:            seeds[0].MsPerOp / serialJoin.MsPerOp,
 		SpeedupEquiJoinPartitioned: seeds[0].MsPerOp / partJoin.MsPerOp,
 		SpeedupHashAgg:             seeds[1].MsPerOp / hashAgg.MsPerOp,
 		SpeedupDistinct:            seeds[2].MsPerOp / distinct.MsPerOp,
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchexec:", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := benchgate.WriteJSON(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchexec:", err)
 		os.Exit(1)
 	}
@@ -211,9 +161,11 @@ func main() {
 	// hash join on the large equi-join (ratio 1.0 ± tolerance; on a
 	// 1-CPU host the partitioned path resolves to the serial join, so
 	// the gate is exact there and meaningful on multi-core).
-	if ratio := partJoin.MsPerOp / serialJoin.MsPerOp; ratio > *tolerance {
-		fmt.Fprintf(os.Stderr, "benchexec: FAIL partitioned EquiJoinLarge is %.2fx the serial time (tolerance %.2fx)\n",
-			ratio, *tolerance)
+	err := benchgate.Check(
+		benchgate.Gate{Label: "partitioned EquiJoinLarge vs serial", Candidate: partJoin, Baseline: serialJoin, Tolerance: *tolerance},
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchexec:", err)
 		os.Exit(1)
 	}
 }

@@ -1,10 +1,12 @@
 // Command benchopt is the optimizer's benchmark harness: it runs the
-// saturation and costing workloads through testing.Benchmark, compares
-// the serial engine against the parallel one and the memoized cost
+// saturation, memo-exploration and costing workloads through
+// testing.Benchmark, compares the serial engine against the parallel
+// one, the memo engine against saturation, and the memoized cost
 // session against cold estimation, writes the numbers to
 // BENCH_optimizer.json, and exits non-zero if the parallel engine is
-// slower than the serial one on the canned Q5 workload — the
-// regression gate make bench enforces.
+// slower than the serial one — or the memo engine slower than
+// saturation — on the canned workloads; these are the regression
+// gates make bench enforces.
 //
 // Usage:
 //
@@ -12,48 +14,26 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"testing"
 
+	"repro/internal/benchgate"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/stats"
 	"repro/internal/value"
 )
 
-// benchResult is one workload's measurement.
-type benchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     int64   `json:"nsPerOp"`
-	BytesPerOp  int64   `json:"bytesPerOp"`
-	AllocsPerOp int64   `json:"allocsPerOp"`
-	MsPerOp     float64 `json:"msPerOp"`
-}
-
-// seedBaseline is a pre-change measurement kept for comparison.
-type seedBaseline struct {
-	Name        string  `json:"name"`
-	MsPerOp     float64 `json:"msPerOp"`
-	BytesPerOp  int64   `json:"bytesPerOp"`
-	AllocsPerOp int64   `json:"allocsPerOp"`
-	Note        string  `json:"note"`
-}
-
 // report is the BENCH_optimizer.json schema.
 type report struct {
-	GoMaxProcs int    `json:"gomaxprocs"`
-	GoVersion  string `json:"goVersion"`
-	// SeedBaselines are the same workloads measured at the pre-change
-	// commit (serial engine, no fingerprint cache, no cost memo).
-	SeedBaselines []seedBaseline `json:"seedBaselines"`
-	Results       []benchResult  `json:"results"`
+	benchgate.Header
 	// SpeedupQ5Serial is seed SaturateQ5 ms / current serial ms.
 	SpeedupQ5Serial float64 `json:"speedupQ5Serial"`
 	// SpeedupQ5Parallel is seed SaturateQ5 ms / current parallel ms
@@ -62,12 +42,22 @@ type report struct {
 	// SpeedupCostMemo is cold estimator ms / memoized session ms on
 	// the Q5 closure costing pass.
 	SpeedupCostMemo float64 `json:"speedupCostMemo"`
+	// SpeedupMemoQ5 is the full-optimization saturation ms / memo
+	// engine ms on Q5 (enumerate + cost + pick best, end to end).
+	SpeedupMemoQ5 float64 `json:"speedupMemoQ5"`
+	// SpeedupMemoChain7 is the same ratio on the 7-relation chain,
+	// where both engines hit the 10000 cap.
+	SpeedupMemoChain7 float64 `json:"speedupMemoChain7"`
+	// MemoPrunedQ5 is the memo.pruned counter from one memo-engine Q5
+	// optimization: extraction candidates discarded by branch-and-bound
+	// before full costing.
+	MemoPrunedQ5 int64 `json:"memoPrunedQ5"`
 }
 
 // Seed numbers measured at the pre-change commit on this container
 // (GOMAXPROCS=1, Intel Xeon 2.10GHz); see BENCH_optimizer.json
 // history.
-var seeds = []seedBaseline{
+var seeds = []benchgate.SeedBaseline{
 	{Name: "SaturateQ5", MsPerOp: 204.7, BytesPerOp: 57400000, AllocsPerOp: 1485045,
 		Note: "serial saturation of Q5 (closure 2752 plans, cap 10000), pre-fingerprint"},
 	{Name: "SaturateChain7", MsPerOp: 609.7, BytesPerOp: 172300000, AllocsPerOp: 4191999,
@@ -89,22 +79,6 @@ func benchDB() plan.Database {
 	return db
 }
 
-func run(name string, results *[]benchResult, f func(b *testing.B)) benchResult {
-	r := testing.Benchmark(f)
-	res := benchResult{
-		Name:        name,
-		Iterations:  r.N,
-		NsPerOp:     r.NsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
-		MsPerOp:     float64(r.NsPerOp()) / 1e6,
-	}
-	*results = append(*results, res)
-	fmt.Printf("%-28s %4d iter  %10.2f ms/op  %12d B/op  %9d allocs/op\n",
-		name, res.Iterations, res.MsPerOp, res.BytesPerOp, res.AllocsPerOp)
-	return res
-}
-
 func saturateBench(q plan.Node, workers int) func(b *testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
@@ -114,25 +88,59 @@ func saturateBench(q plan.Node, workers int) func(b *testing.B) {
 	}
 }
 
+// optimizeBench measures a full optimization — enumerate, cost, pick
+// best — with the given engine, a fresh registry per iteration.
+func optimizeBench(q plan.Node, db plan.Database, est *stats.Estimator, mode optimizer.MemoMode) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := optimizer.New(est)
+			o.Opts.UseMemo = mode
+			o.Opts.MaxPlans = 10000
+			o.Opts.Obs = obs.NewRegistry()
+			if _, err := o.Optimize(q, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func main() {
 	out := flag.String("out", "BENCH_optimizer.json", "where to write the JSON report")
-	tolerance := flag.Float64("tolerance", 1.10, "max allowed parallel/serial time ratio on Q5 before failing")
+	tolerance := flag.Float64("tolerance", 1.10, "max allowed candidate/baseline time ratio before failing")
 	flag.Parse()
 
 	fmt.Printf("benchopt: GOMAXPROCS=%d %s\n", runtime.GOMAXPROCS(0), runtime.Version())
-	var results []benchResult
+	var results []benchgate.Result
 
 	q5 := experiments.Q5()
 	chain := experiments.ChainQuery(7)
-	serialQ5 := run("SaturateQ5/serial", &results, saturateBench(q5, 1))
-	parQ5 := run("SaturateQ5/parallel", &results, saturateBench(q5, -1))
-	run("SaturateChain7/serial", &results, saturateBench(chain, 1))
-	run("SaturateChain7/parallel", &results, saturateBench(chain, -1))
+	serialQ5 := benchgate.Run("SaturateQ5/serial", &results, saturateBench(q5, 1))
+	parQ5 := benchgate.Run("SaturateQ5/parallel", &results, saturateBench(q5, -1))
+	benchgate.Run("SaturateChain7/serial", &results, saturateBench(chain, 1))
+	benchgate.Run("SaturateChain7/parallel", &results, saturateBench(chain, -1))
 
 	db := benchDB()
 	est := stats.NewEstimator(stats.FromDatabase(db))
+	satOptQ5 := benchgate.Run("OptimizeQ5/saturate", &results, optimizeBench(q5, db, est, optimizer.MemoOff))
+	memOptQ5 := benchgate.Run("OptimizeQ5/memo", &results, optimizeBench(q5, db, est, optimizer.MemoAuto))
+	satOptChain := benchgate.Run("OptimizeChain7/saturate", &results, optimizeBench(chain, db, est, optimizer.MemoOff))
+	memOptChain := benchgate.Run("OptimizeChain7/memo", &results, optimizeBench(chain, db, est, optimizer.MemoAuto))
+
+	// One instrumented memo run for the branch-and-bound evidence.
+	reg := obs.NewRegistry()
+	o := optimizer.New(est)
+	o.Opts.MaxPlans = 10000
+	o.Opts.Obs = reg
+	if _, err := o.Optimize(q5, db); err != nil {
+		fmt.Fprintln(os.Stderr, "benchopt:", err)
+		os.Exit(1)
+	}
+	memoPruned := reg.Snapshot().Counters["memo.pruned"]
+	fmt.Printf("memo.pruned on Q5: %d extraction candidates cut by branch-and-bound\n", memoPruned)
+
 	closure := core.Saturate(q5, core.SaturateOptions{MaxPlans: 10000})
-	costCold := run("CostClosure/estimator", &results, func(b *testing.B) {
+	costCold := benchgate.Run("CostClosure/estimator", &results, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, p := range closure {
@@ -145,7 +153,7 @@ func main() {
 			}
 		}
 	})
-	costMemo := run("CostClosure/session", &results, func(b *testing.B) {
+	costMemo := benchgate.Run("CostClosure/session", &results, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sess := est.NewSession(nil)
@@ -161,35 +169,36 @@ func main() {
 	})
 
 	rep := report{
-		GoMaxProcs:        runtime.GOMAXPROCS(0),
-		GoVersion:         runtime.Version(),
-		SeedBaselines:     seeds,
-		Results:           results,
+		Header:            benchgate.NewHeader(seeds, results),
 		SpeedupQ5Serial:   seeds[0].MsPerOp / serialQ5.MsPerOp,
 		SpeedupQ5Parallel: seeds[0].MsPerOp / parQ5.MsPerOp,
 		SpeedupCostMemo:   costCold.MsPerOp / costMemo.MsPerOp,
+		SpeedupMemoQ5:     satOptQ5.MsPerOp / memOptQ5.MsPerOp,
+		SpeedupMemoChain7: satOptChain.MsPerOp / memOptChain.MsPerOp,
+		MemoPrunedQ5:      memoPruned,
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchopt:", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := benchgate.WriteJSON(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchopt:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("speedups vs seed: Q5 serial %.2fx, Q5 parallel %.2fx; cost memo %.2fx vs cold\n",
 		rep.SpeedupQ5Serial, rep.SpeedupQ5Parallel, rep.SpeedupCostMemo)
+	fmt.Printf("memo engine vs saturation: Q5 %.2fx, chain7 %.2fx\n",
+		rep.SpeedupMemoQ5, rep.SpeedupMemoChain7)
 	fmt.Println("wrote", *out)
 
-	// Regression gate: the parallel engine must not lose to the serial
-	// one on the canned workload (ratio 1.0 ± tolerance; on a 1-CPU
-	// host Workers:GOMAXPROCS resolves to the serial path, so the gate
-	// is exact there and meaningful on multi-core).
-	if ratio := parQ5.MsPerOp / serialQ5.MsPerOp; ratio > *tolerance {
-		fmt.Fprintf(os.Stderr, "benchopt: FAIL parallel SaturateQ5 is %.2fx the serial time (tolerance %.2fx)\n",
-			ratio, *tolerance)
+	// Regression gates: the parallel engine must not lose to the serial
+	// one, and the memo engine must not lose to saturation, on the
+	// canned workloads (ratio 1.0 ± tolerance; on a 1-CPU host
+	// Workers:GOMAXPROCS resolves to the serial path, so the parallel
+	// gate is exact there and meaningful on multi-core).
+	err := benchgate.Check(
+		benchgate.Gate{Label: "parallel SaturateQ5 vs serial", Candidate: parQ5, Baseline: serialQ5, Tolerance: *tolerance},
+		benchgate.Gate{Label: "memo OptimizeQ5 vs saturation", Candidate: memOptQ5, Baseline: satOptQ5, Tolerance: *tolerance},
+		benchgate.Gate{Label: "memo OptimizeChain7 vs saturation", Candidate: memOptChain, Baseline: satOptChain, Tolerance: *tolerance},
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchopt:", err)
 		os.Exit(1)
 	}
 }

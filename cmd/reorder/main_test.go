@@ -57,7 +57,7 @@ func TestRunSupplierStats(t *testing.T) {
 		"actual rows=",
 		"time=",
 		"optimizer phases:",
-		"saturate",
+		"explore",
 		"optimizer.rule_applied",
 		"executor.op.scan",
 	} {
@@ -72,7 +72,7 @@ func TestRunSupplierTrace(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
 	}
-	for _, want := range []string{"optimize", "saturate", "execute"} {
+	for _, want := range []string{"optimize", "explore", "execute"} {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("trace missing %q:\n%s", want, stdout)
 		}

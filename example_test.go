@@ -58,8 +58,10 @@ func ExampleOptimize() {
 	}
 	fmt.Printf("considered %d plans; best filters before joining: %v\n",
 		res.Considered, res.Best.Cost < res.Original.Cost)
+	// The memo engine counts admitted group expressions, which include
+	// shared subplans the old exhaustive enumeration never listed.
 	// Output:
-	// considered 4 plans; best filters before joining: true
+	// considered 9 plans; best filters before joining: true
 }
 
 // ExampleAssociationTreeCounts reproduces the paper's plan-space

@@ -1,0 +1,104 @@
+// Package benchgate holds the measurement and regression-gate
+// plumbing shared by the benchmark harnesses (cmd/benchopt,
+// cmd/benchexec): the JSON result schema, the testing.Benchmark
+// driver, report serialization, and the tolerance check that turns a
+// slower-than-baseline ratio into a non-zero exit.
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// Result is one workload's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	MsPerOp     float64 `json:"msPerOp"`
+}
+
+// SeedBaseline is a pre-change measurement kept for comparison.
+type SeedBaseline struct {
+	Name        string  `json:"name"`
+	MsPerOp     float64 `json:"msPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	Note        string  `json:"note"`
+}
+
+// Header is the part of the report schema every harness shares; embed
+// it first so the JSON field order matches the historical reports.
+type Header struct {
+	GoMaxProcs    int            `json:"gomaxprocs"`
+	GoVersion     string         `json:"goVersion"`
+	SeedBaselines []SeedBaseline `json:"seedBaselines"`
+	Results       []Result       `json:"results"`
+}
+
+// NewHeader fills the environment fields.
+func NewHeader(seeds []SeedBaseline, results []Result) Header {
+	return Header{
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		GoVersion:     runtime.Version(),
+		SeedBaselines: seeds,
+		Results:       results,
+	}
+}
+
+// Run measures one workload through testing.Benchmark, appends the
+// result to results, and echoes a human-readable line.
+func Run(name string, results *[]Result, f func(b *testing.B)) Result {
+	r := testing.Benchmark(f)
+	res := Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		MsPerOp:     float64(r.NsPerOp()) / 1e6,
+	}
+	*results = append(*results, res)
+	fmt.Printf("%-28s %4d iter  %10.2f ms/op  %12d B/op  %9d allocs/op\n",
+		name, res.Iterations, res.MsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	return res
+}
+
+// WriteJSON writes the report with the harnesses' historical
+// formatting (two-space indent, trailing newline).
+func WriteJSON(path string, rep any) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Gate is one regression check: Candidate must not exceed Baseline by
+// more than Tolerance (a time ratio, e.g. 1.10 for +10%).
+type Gate struct {
+	// Label names the check in the failure message, e.g.
+	// "parallel SaturateQ5 vs serial".
+	Label     string
+	Candidate Result
+	Baseline  Result
+	Tolerance float64
+}
+
+// Check evaluates the gates in order and returns an error describing
+// the first failure, or nil when every candidate is within tolerance.
+func Check(gates ...Gate) error {
+	for _, g := range gates {
+		if ratio := g.Candidate.MsPerOp / g.Baseline.MsPerOp; ratio > g.Tolerance {
+			return fmt.Errorf("FAIL %s is %.2fx the baseline time (tolerance %.2fx)",
+				g.Label, ratio, g.Tolerance)
+		}
+	}
+	return nil
+}

@@ -172,7 +172,8 @@ func PushUpGroupBy(j *plan.Join, db plan.Database) (plan.Node, error) {
 // schema for the widened grouping key.
 func PushUpRule(db plan.Database) Rule {
 	return Rule{
-		Name: "push-up-aggregation",
+		Name:  "push-up-aggregation",
+		Scope: ScopeChild,
 		Apply: func(n plan.Node) []plan.Node {
 			j, ok := n.(*plan.Join)
 			if !ok {

@@ -12,7 +12,45 @@ import (
 type Rule struct {
 	Name  string
 	Apply func(n plan.Node) []plan.Node
+	// Scope declares how deeply Apply inspects the structure of its
+	// input, which is what lets the memo explorer apply the rule
+	// group-locally: a binding only has to materialize the subtree to
+	// the declared depth (anything deeper is an arbitrary member of
+	// the corresponding equivalence group). The zero value,
+	// ScopeUnknown, keeps undeclared rules sound: the memo cannot
+	// bind them and the optimizer falls back to whole-tree
+	// saturation.
+	Scope RuleScope
 }
+
+// RuleScope classifies the structural depth a rule's Apply matches
+// on. Predicate-scoping checks (plan.BaseRelSet via refsOnly and
+// friends) do not count toward the depth: every member of an
+// equivalence group spans the same base relations, so any member
+// stands in for the group.
+type RuleScope uint8
+
+const (
+	// ScopeUnknown is the zero value: the rule has not declared a
+	// group-local form. Saturation applies it as always; the memo
+	// explorer refuses and reports the rule so Optimize can fall
+	// back.
+	ScopeUnknown RuleScope = iota
+	// ScopeNode rules inspect only the root operator (kind,
+	// predicate) and reuse the children as opaque subtrees —
+	// commutativity is the canonical example.
+	ScopeNode
+	// ScopeChild rules additionally match on the operator of one
+	// direct child (associativities, pushdown, merge, MGOJ
+	// introduction, aggregation pull-up). The memo binds them once
+	// per (expression, child slot, child expression).
+	ScopeChild
+	// ScopeJoinTree rules inspect the entire subtree but only match
+	// pure join-over-scan trees (predicate break-up). The memo binds
+	// them to every distinct pure-join materialization of the group,
+	// which is exactly the set saturation would have presented.
+	ScopeJoinTree
+)
 
 // refsOnly reports whether p references only relations under n.
 func refsOnly(p expr.Pred, n plan.Node) bool {
@@ -47,7 +85,8 @@ func asJoin(n plan.Node, kinds ...plan.JoinKind) (*plan.Join, bool) {
 // A ⋈p B = B ⋈p A and A ↔p B = B ↔p A; a one-sided outer join
 // commutes into its mirror: A →p B = B ←p A.
 var RuleCommute = Rule{
-	Name: "commute",
+	Name:  "commute",
+	Scope: ScopeNode,
 	Apply: func(n plan.Node) []plan.Node {
 		j, ok := n.(*plan.Join)
 		if !ok {
@@ -69,7 +108,8 @@ var RuleCommute = Rule{
 // (A ⋈p B) ⋈q C = A ⋈p (B ⋈q C) when q references only B ∪ C (and
 // still both operands on each side), in both directions.
 var RuleAssocInner = Rule{
-	Name: "assoc-inner",
+	Name:  "assoc-inner",
+	Scope: ScopeChild,
 	Apply: func(n plan.Node) []plan.Node {
 		var out []plan.Node
 		if top, ok := asJoin(n, plan.InnerJoin); ok {
@@ -113,7 +153,8 @@ func join2(a, b plan.Node) plan.Node {
 // in both directions (right-to-left requires p to reference only
 // A ∪ B).
 var RuleAssocLeft = Rule{
-	Name: "assoc-left",
+	Name:  "assoc-left",
+	Scope: ScopeChild,
 	Apply: func(n plan.Node) []plan.Node {
 		var out []plan.Node
 		if top, ok := asJoin(n, plan.LeftJoin); ok {
@@ -149,7 +190,8 @@ var RuleAssocLeft = Rule{
 // in both directions. The inner join filters only A tuples, which
 // commutes with padding unmatched A tuples on sch(B).
 var RuleJoinLOJ = Rule{
-	Name: "join-loj",
+	Name:  "join-loj",
+	Scope: ScopeChild,
 	Apply: func(n plan.Node) []plan.Node {
 		var out []plan.Node
 		if top, ok := asJoin(n, plan.InnerJoin); ok {
@@ -195,7 +237,8 @@ var RuleJoinLOJ = Rule{
 // both reference B (null in-tolerance then guarantees padded tuples
 // never spuriously join) — [GALI92a].
 var RuleAssocFull = Rule{
-	Name: "assoc-full",
+	Name:  "assoc-full",
+	Scope: ScopeChild,
 	Apply: func(n plan.Node) []plan.Node {
 		var out []plan.Node
 		if top, ok := asJoin(n, plan.FullJoin); ok {
@@ -226,7 +269,8 @@ var RuleAssocFull = Rule{
 // null-supplying side stay put — removing padded rows is
 // simplification's job, not pushdown's.
 var RuleSelectPushdown = Rule{
-	Name: "select-pushdown",
+	Name:  "select-pushdown",
+	Scope: ScopeChild,
 	Apply: func(n plan.Node) []plan.Node {
 		sel, ok := n.(*plan.Select)
 		if !ok {
@@ -274,7 +318,8 @@ var RuleSelectPushdown = Rule{
 // RuleSelectMerge collapses stacked selections; canonical form for
 // the dedup key and a prerequisite for further pushdown.
 var RuleSelectMerge = Rule{
-	Name: "select-merge",
+	Name:  "select-merge",
+	Scope: ScopeChild,
 	Apply: func(n plan.Node) []plan.Node {
 		outer, ok := n.(*plan.Select)
 		if !ok {
@@ -299,7 +344,8 @@ var RuleSelectMerge = Rule{
 // — join the outer-join result with the remaining input while
 // re-preserving A's tuples that lose their match.
 var RuleMGOJIntro = Rule{
-	Name: "mgoj-intro",
+	Name:  "mgoj-intro",
+	Scope: ScopeChild,
 	Apply: func(n plan.Node) []plan.Node {
 		top, ok := asJoin(n, plan.LeftJoin)
 		if !ok {
@@ -327,7 +373,8 @@ var RuleMGOJIntro = Rule{
 // split option of a pure join subtree, defer one conjunct to a
 // compensating generalized selection per Theorem 1.
 var RuleSplit = Rule{
-	Name: "split",
+	Name:  "split",
+	Scope: ScopeJoinTree,
 	Apply: func(n plan.Node) []plan.Node {
 		if _, ok := n.(*plan.Join); !ok {
 			return nil

@@ -39,6 +39,26 @@ func Q6() plan.Node {
 			plan.NewJoin(plan.LeftJoin, eqX("r3", "r4"), plan.NewScan("r3"), plan.NewScan("r4"))))
 }
 
+// StarQuery builds an n-relation inner-join star: r1 is the hub and
+// r2..rn join it on x, with the last edge additionally carrying a
+// complex conjunct between the two outermost satellites. Inner joins
+// commute and associate freely, so the star's closure exercises the
+// enumeration's join-order space (and the complex predicate gives the
+// break-up rule something to defer); it is the memo property suite's
+// bushy-space workload.
+func StarQuery(n int) plan.Node {
+	rel := func(i int) string { return fmt.Sprintf("r%d", i) }
+	var node plan.Node = plan.NewScan(rel(1))
+	for i := 2; i <= n; i++ {
+		var pred expr.Pred = expr.EqCols(rel(1), "x", rel(i), "x")
+		if i == n && n > 2 {
+			pred = expr.And(pred, expr.EqCols(rel(n-1), "y", rel(n), "y"))
+		}
+		node = plan.NewJoin(plan.InnerJoin, pred, node, plan.NewScan(rel(i)))
+	}
+	return node
+}
+
 // ChainQuery builds an n-relation left-outer-join chain whose final
 // edge carries a complex predicate referencing r1. Its closure grows
 // fast enough with n to hit any realistic MaxPlans cap (n=7 exceeds

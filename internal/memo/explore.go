@@ -1,0 +1,272 @@
+package memo
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/plan"
+)
+
+// taskKind selects which rule subset a binding is fed to.
+type taskKind uint8
+
+const (
+	nodeKind taskKind = iota // ScopeNode rules on the canonical expression
+	childKind                // ScopeChild rules on a one-slot binding
+	treeKind                 // ScopeJoinTree rules on a pure join tree
+)
+
+// task is one binding to apply rules to. Tasks are generated in a
+// deterministic order against the pre-wave memo state, so the merge —
+// which ingests results in task order — produces the same memo for
+// any worker count.
+type task struct {
+	group   GroupID
+	from    exprID
+	kind    taskKind
+	binding plan.Node
+}
+
+// altResult is one rule firing's output.
+type altResult struct {
+	node plan.Node
+	rule string
+}
+
+// workers resolves Options.Workers to a goroutine count.
+func (o Options) workers() int {
+	switch {
+	case o.Workers < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Workers == 0:
+		return 1
+	default:
+		return o.Workers
+	}
+}
+
+// Explore saturates the groups under the rule set: waves of bindings
+// are generated incrementally (per-expression consumed counters make
+// each binding appear exactly once across the whole run), rules are
+// applied — serially or across Options.Workers goroutines — and
+// results are merged back single-threaded in task order. The loop
+// reaches a fixpoint when a wave generates no bindings, or stops at
+// MaxExprs.
+func (m *Memo) Explore() {
+	reg := m.obs()
+	for !m.capped {
+		tasks := m.collectTasks()
+		if len(tasks) == 0 {
+			break
+		}
+		if reg != nil {
+			reg.Counter("memo.waves").Inc()
+		}
+		results := m.apply(tasks)
+		for i, t := range tasks {
+			g := m.groups[t.group]
+			for _, alt := range results[i] {
+				m.addResult(g, alt.node, alt.rule, t.from)
+				if len(m.exprs)+m.jtCount >= m.opts.MaxExprs {
+					m.markCapped()
+					return
+				}
+			}
+		}
+	}
+}
+
+// collectTasks advances every expression's binding cursors and
+// returns the new wave's bindings: expressions created since the last
+// wave contribute their canonical ScopeNode binding, every expression
+// contributes one ScopeChild binding per (slot, newly admitted child
+// expression), and groups with grown pure-join-tree lists contribute
+// the new trees to the ScopeJoinTree rules.
+func (m *Memo) collectTasks() []task {
+	var tasks []task
+	for _, e := range m.exprs {
+		if !e.nodeDone {
+			e.nodeDone = true
+			if len(m.nodeRules) > 0 {
+				tasks = append(tasks, task{group: e.group, from: e.id, kind: nodeKind, binding: e.node})
+			}
+		}
+		if len(m.chldRules) == 0 {
+			continue
+		}
+		ch := e.node.Children()
+		for s := range e.children {
+			cg := m.groups[e.children[s]]
+			start := e.consumed[s]
+			// Slot 0's first binding is e.node itself (the child's
+			// first expression IS the representative); the same tree
+			// would reappear at every later slot's first binding, so
+			// those start at 1.
+			if s > 0 && start == 0 {
+				start = 1
+			}
+			for j := start; j < len(cg.exprs); j++ {
+				f := m.exprs[cg.exprs[j]]
+				binding := e.node
+				if f.node != ch[s] {
+					nch := make([]plan.Node, len(ch))
+					copy(nch, ch)
+					nch[s] = f.node
+					binding = e.node.WithChildren(nch)
+				}
+				tasks = append(tasks, task{group: e.group, from: e.id, kind: childKind, binding: binding})
+			}
+			e.consumed[s] = len(cg.exprs)
+		}
+	}
+	if len(m.treeRules) > 0 {
+		m.growJoinTrees()
+		for _, g := range m.groups {
+			for i := g.jtProcessed; i < len(g.joinTrees); i++ {
+				jt := g.joinTrees[i]
+				if _, isJoin := jt.tree.(*plan.Join); isJoin {
+					tasks = append(tasks, task{group: g.id, from: jt.from, kind: treeKind, binding: jt.tree})
+				}
+			}
+			g.jtProcessed = len(g.joinTrees)
+		}
+	}
+	return tasks
+}
+
+// growJoinTrees extends every group's list of pure join-over-scan
+// materializations: a Scan expression contributes itself, and a Join
+// expression contributes the cross product of its child groups' lists
+// (combined incrementally via per-expression consumed counts). One
+// call propagates growth one level up; the wave loop carries it to a
+// fixpoint.
+func (m *Memo) growJoinTrees() {
+	for _, e := range m.exprs {
+		if m.capped {
+			return
+		}
+		g := m.groups[e.group]
+		switch e.node.(type) {
+		case *plan.Scan:
+			if e.jtConsumed == nil {
+				e.jtConsumed = []int{0}
+				m.jtAdd(g, e.node, e.id)
+			}
+		case *plan.Join:
+			if e.jtConsumed == nil {
+				e.jtConsumed = []int{0, 0}
+			}
+			lg, rg := m.groups[e.children[0]], m.groups[e.children[1]]
+			n1, n2 := e.jtConsumed[0], e.jtConsumed[1]
+			l1, l2 := len(lg.joinTrees), len(rg.joinTrees)
+			// Delta rectangle: already-seen left × new right, then new
+			// left × all right — deterministic and exhaustive.
+			for i := 0; i < n1 && !m.capped; i++ {
+				for j := n2; j < l2 && !m.capped; j++ {
+					m.jtCombine(g, e, lg.joinTrees[i].tree, rg.joinTrees[j].tree)
+				}
+			}
+			for i := n1; i < l1 && !m.capped; i++ {
+				for j := 0; j < l2 && !m.capped; j++ {
+					m.jtCombine(g, e, lg.joinTrees[i].tree, rg.joinTrees[j].tree)
+				}
+			}
+			e.jtConsumed[0], e.jtConsumed[1] = l1, l2
+		}
+	}
+}
+
+func (m *Memo) jtCombine(g *group, e *expr, l, r plan.Node) {
+	m.jtAdd(g, e.node.WithChildren([]plan.Node{l, r}), e.id)
+}
+
+// jtAdd records a pure-join-tree materialization. Each one counts
+// against the MaxExprs budget: capped saturation stops at a bounded
+// number of materialized plans, and the join-tree lists are the memo
+// path's only full-tree materializations, so charging them to the
+// same budget keeps a capped memo run's work comparable.
+func (m *Memo) jtAdd(g *group, t plan.Node, from exprID) {
+	if g.jtSet == nil {
+		g.jtSet = make(map[string]bool)
+	}
+	k := plan.Key(t)
+	if g.jtSet[k] {
+		return
+	}
+	g.jtSet[k] = true
+	g.joinTrees = append(g.joinTrees, jtEntry{tree: t, from: from})
+	m.jtCount++
+	if len(m.exprs)+m.jtCount >= m.opts.MaxExprs {
+		m.markCapped()
+	}
+}
+
+// markCapped flags the budget stop once, bumping memo.capped.
+func (m *Memo) markCapped() {
+	if m.capped {
+		return
+	}
+	m.capped = true
+	if reg := m.obs(); reg != nil {
+		reg.Counter("memo.capped").Inc()
+	}
+}
+
+// apply runs the wave's rule applications, fanning out across workers
+// when configured. Each task is independent and reads only pre-wave
+// memo state, so results land in per-task slots and the caller's
+// in-order merge is deterministic. Fingerprints of result trees are
+// forced inside the workers so the serial merge finds them cached.
+func (m *Memo) apply(tasks []task) [][]altResult {
+	results := make([][]altResult, len(tasks))
+	workers := m.opts.workers()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for i, t := range tasks {
+			results[i] = m.applyOne(t)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				results[i] = m.applyOne(tasks[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+func (m *Memo) applyOne(t task) []altResult {
+	var rules = m.chldRules
+	switch t.kind {
+	case nodeKind:
+		rules = m.nodeRules
+	case treeKind:
+		rules = m.treeRules
+	}
+	reg := m.obs()
+	var out []altResult
+	for _, r := range rules {
+		for _, alt := range r.Apply(t.binding) {
+			plan.Key(alt) // warm the fingerprint cache while parallel
+			if reg != nil {
+				reg.Counter("optimizer.rule_applied." + r.Name).Inc()
+			}
+			out = append(out, altResult{node: alt, rule: r.Name})
+		}
+	}
+	return out
+}

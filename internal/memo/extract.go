@@ -1,0 +1,189 @@
+package memo
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/plan"
+)
+
+// Coster abstracts the costing session extraction runs against
+// (satisfied by stats.Session). PlanCostBound must return the plan's
+// cost and whether it stayed strictly below the bound; when it did
+// not, the returned cost may be partial and is ignored.
+type Coster interface {
+	PlanCost(n plan.Node) (float64, error)
+	PlanCostBound(n plan.Node, bound float64) (cost float64, within bool, err error)
+}
+
+// Best is Extract's result.
+type Best struct {
+	Plan  plan.Node
+	Cost  float64
+	Group GroupID
+	// Root indexes the roots slice passed to Extract, identifying
+	// which seed's group won.
+	Root int
+}
+
+// Extract computes the cheapest materialization of each root group
+// bottom-up with winner tracking and branch-and-bound pruning, and
+// returns the overall winner. Per group, expressions are visited in
+// admission order; an expression whose child-winner cost sum already
+// reaches the group's incumbent best is pruned without being
+// materialized or costed (memo.pruned), and costing itself bails out
+// early through Coster.PlanCostBound once it crosses the incumbent.
+// Because every candidate's cost is the sum of its child costs plus a
+// non-negative operator cost, pruning never discards a strictly
+// cheaper plan, so the winner equals the minimum over the group's
+// full materialization set whenever costs have optimal substructure
+// (which the stats model's bottom-up recurrences do).
+//
+// Shared groups are extracted once; extraction wall time is reported
+// as memo.extract_ns.
+func (m *Memo) Extract(roots []GroupID, c Coster) (Best, error) {
+	start := time.Now()
+	defer func() {
+		if reg := m.obs(); reg != nil {
+			reg.Counter("memo.extract_ns").Add(time.Since(start).Nanoseconds())
+		}
+	}()
+	onPath := make([]bool, len(m.groups))
+	best := Best{Cost: math.Inf(1), Root: -1}
+	for i, gid := range roots {
+		g := m.groups[gid]
+		if err := m.extractGroup(g, c, onPath); err != nil {
+			return Best{}, err
+		}
+		if g.winner != nil && g.winnerCost < best.Cost {
+			best = Best{Plan: g.winner, Cost: g.winnerCost, Group: gid, Root: i}
+		}
+	}
+	if best.Plan == nil {
+		return Best{}, fmt.Errorf("memo: no extractable plan among %d root groups", len(roots))
+	}
+	return best, nil
+}
+
+// Winner returns a group's cheapest materialization and cost, once
+// Extract has run.
+func (m *Memo) Winner(gid GroupID) (plan.Node, float64, bool) {
+	g := m.groups[gid]
+	if !g.extracted || g.winner == nil {
+		return nil, 0, false
+	}
+	return g.winner, g.winnerCost, true
+}
+
+func (m *Memo) extractGroup(g *group, c Coster, onPath []bool) error {
+	if g.extracted {
+		return nil
+	}
+	onPath[g.id] = true
+	defer func() { onPath[g.id] = false }()
+	reg := m.obs()
+	incumbent := math.Inf(1)
+	var winner plan.Node
+	winnerExpr := exprID(-1)
+	for _, eid := range g.exprs {
+		e := m.exprs[eid]
+		lb := 0.0
+		usable := true
+		var trees []plan.Node
+		if len(e.children) > 0 {
+			trees = make([]plan.Node, len(e.children))
+		}
+		for i, cgid := range e.children {
+			// A self-referential spelling cannot be materialized on
+			// this path; another expression of the group covers it.
+			if onPath[cgid] {
+				usable = false
+				break
+			}
+			sub := m.groups[cgid]
+			if err := m.extractGroup(sub, c, onPath); err != nil {
+				return err
+			}
+			if sub.winner == nil {
+				usable = false
+				break
+			}
+			trees[i] = sub.winner
+			lb += sub.winnerCost
+		}
+		if !usable {
+			continue
+		}
+		if lb >= incumbent {
+			if reg != nil {
+				reg.Counter("memo.pruned").Inc()
+			}
+			continue
+		}
+		cand := e.node
+		if len(trees) > 0 {
+			cand = e.node.WithChildren(trees)
+		}
+		cost, within, err := c.PlanCostBound(cand, incumbent)
+		if err != nil {
+			return err
+		}
+		if !within {
+			if reg != nil {
+				reg.Counter("memo.pruned").Inc()
+			}
+			continue
+		}
+		incumbent, winner, winnerExpr = cost, cand, eid
+	}
+	g.winner, g.winnerCost, g.winnerExpr = winner, incumbent, winnerExpr
+	g.extracted = true
+	return nil
+}
+
+// Derivation reconstructs the identity-rule chain justifying a
+// group's winner, children first: for every group of the winning
+// tree (visited once, post-order over the winner expressions), the
+// rules that derived its winning expression from the group's seed,
+// oldest first. The chain replays the provenance the saturation
+// engine's trace records, assembled from the memo's per-expression
+// (rule, parent expression) records instead of a whole-tree map.
+func (m *Memo) Derivation(gid GroupID) []string {
+	visited := make(map[GroupID]bool)
+	var walk func(GroupID) []string
+	walk = func(gid GroupID) []string {
+		if visited[gid] {
+			return nil
+		}
+		visited[gid] = true
+		g := m.groups[gid]
+		if !g.extracted || g.winnerExpr < 0 {
+			return nil
+		}
+		e := m.exprs[g.winnerExpr]
+		var out []string
+		for _, cg := range e.children {
+			out = append(out, walk(cg)...)
+		}
+		return append(out, m.provChain(e)...)
+	}
+	return walk(gid)
+}
+
+// provChain walks an expression's provenance back to its group's seed
+// and returns the producing rules oldest-first.
+func (m *Memo) provChain(e *expr) []string {
+	var rev []string
+	for e.rule != "" {
+		rev = append(rev, e.rule)
+		if e.from < 0 {
+			break
+		}
+		e = m.exprs[e.from]
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

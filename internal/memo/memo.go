@@ -1,0 +1,324 @@
+// Package memo implements a memo table of equivalence groups for the
+// optimizer's enumeration (Section 4): instead of materializing every
+// member of a query's equivalence class as a full plan tree (the
+// core.Saturate approach), the memo stores each distinct subtree
+// class once as a *group* and each distinct operator-over-groups
+// shape once as an *expression*, so shared subtrees are derived,
+// stored and costed once regardless of how many enclosing plans use
+// them.
+//
+// A group is keyed by subtree fingerprint (plan.Key of any member
+// tree). An expression is one operator whose children are group
+// references; it is represented concretely as a real plan.Node whose
+// child subtrees are the *representatives* of the child groups, which
+// keeps every expression a genuine member tree — rules apply to it
+// directly, plan.Key canonicalizes it, and stats cost it — while
+// child sharing makes it one shallow node.
+//
+// Exploration saturates the groups under a core.Rule set using the
+// rules' declared RuleScope to build group-local *bindings*: a
+// ScopeNode rule sees each expression once, a ScopeChild rule sees
+// each (expression, child slot, child-group expression) combination,
+// and a ScopeJoinTree rule sees each pure join-over-scan
+// materialization of the group. Because every binding is itself a
+// member tree, every rule result is equivalent to the group by
+// construction; results are ingested back as new expressions (of the
+// same group) with per-group dedup. Groups are never merged: when a
+// result's expression shape already lives in another group, the shape
+// is simply added to both — sound, and it keeps the reachable set
+// exactly the positional-rewrite closure that Saturate computes
+// rather than a congruence-closure superset of it.
+package memo
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// GroupID names one equivalence group.
+type GroupID int
+
+// exprID names one expression globally (across groups), in admission
+// order. The exploration loop walks expressions by ascending id, which
+// is what makes serial and parallel runs produce identical memos.
+type exprID int
+
+// expr is one operator-over-groups shape.
+type expr struct {
+	id    exprID
+	group GroupID
+	// node is the expression materialized over the child groups'
+	// representative trees — a real member tree of the group whose
+	// fingerprint canonicalizes the (operator, child groups) shape.
+	node plan.Node
+	// children are the groups the node's child subtrees belong to.
+	children []GroupID
+	// rule and from record provenance: the identity that produced
+	// this expression and the expression its binding was rooted at.
+	// Seed expressions (ingested query subtrees) have rule "" and
+	// from -1.
+	rule string
+	from exprID
+
+	// Exploration bookkeeping (owned by the single-threaded merge):
+	// nodeDone marks the one ScopeNode binding as generated, consumed
+	// counts per child slot how many of the child group's expressions
+	// have been bound, and jtConsumed counts per child slot how many
+	// of the child group's pure join trees have been combined.
+	nodeDone   bool
+	consumed   []int
+	jtConsumed []int
+}
+
+// jtEntry is one pure join-over-scan materialization of a group,
+// with the root expression it was combined under (for provenance).
+type jtEntry struct {
+	tree plan.Node
+	from exprID
+}
+
+// group is one equivalence class.
+type group struct {
+	id    GroupID
+	key   string // fingerprint of the first ingested member tree
+	repr  plan.Node
+	exprs []exprID
+	// exprSet dedups expression shapes within the group.
+	exprSet map[string]bool
+
+	// joinTrees lists the group's pure join-over-scan
+	// materializations in deterministic discovery order; jtSet dedups
+	// them and jtProcessed counts how many have been fed to
+	// ScopeJoinTree rules.
+	joinTrees   []jtEntry
+	jtSet       map[string]bool
+	jtProcessed int
+
+	// winner is set by Extract: the cheapest materialization of the
+	// group, or nil when every expression was pruned or cyclic.
+	winner     plan.Node
+	winnerCost float64
+	winnerExpr exprID
+	extracted  bool
+}
+
+// Options configure a memo.
+type Options struct {
+	// Rules is the identity rule set; every rule must declare a
+	// RuleScope other than ScopeUnknown (see Supports).
+	Rules []core.Rule
+	// MaxExprs caps the total materialization work — admitted
+	// expressions plus pure-join-tree materializations built for
+	// ScopeJoinTree rules (0 means 100000) — the memo analog of
+	// SaturateOptions.MaxPlans, which bounds materialized plans.
+	MaxExprs int
+	// Workers sets the number of goroutines applying rules per
+	// exploration wave; 0 and 1 run serially, < 0 means
+	// runtime.GOMAXPROCS(0). Any value produces the identical memo:
+	// bindings are generated as a deterministic task list against the
+	// pre-wave state and results are merged single-threaded in task
+	// order.
+	Workers int
+	// Obs, when non-nil, receives memo.groups, memo.exprs,
+	// memo.dedup_hits, memo.waves, memo.capped and the per-rule
+	// optimizer.rule_applied.<rule> / optimizer.rule_admitted.<rule>
+	// counters. Extraction adds memo.pruned and memo.extract_ns.
+	Obs *obs.Registry
+}
+
+// Memo is the group table.
+type Memo struct {
+	opts      Options
+	nodeRules []core.Rule
+	chldRules []core.Rule
+	treeRules []core.Rule
+
+	groups    []*group
+	exprs     []*expr
+	byKey     map[string]GroupID // member-tree fingerprint -> group
+	byExprKey map[string]GroupID // expression fingerprint -> first owner
+	jtCount   int                // join-tree materializations, for the MaxExprs budget
+	capped    bool
+}
+
+// Supports reports whether every rule declares a group-local scope,
+// and the names of those that do not. Optimizer callers use it to
+// decide between the memo and whole-tree saturation.
+func Supports(rules []core.Rule) (ok bool, unsupported []string) {
+	for _, r := range rules {
+		if r.Scope == core.ScopeUnknown {
+			unsupported = append(unsupported, r.Name)
+		}
+	}
+	return len(unsupported) == 0, unsupported
+}
+
+// New builds an empty memo. It fails when a rule lacks a declared
+// scope, since such a rule cannot be bound group-locally.
+func New(opts Options) (*Memo, error) {
+	if opts.Rules == nil {
+		opts.Rules = core.DefaultRules()
+	}
+	if opts.MaxExprs <= 0 {
+		opts.MaxExprs = 100000
+	}
+	m := &Memo{
+		opts:      opts,
+		byKey:     make(map[string]GroupID),
+		byExprKey: make(map[string]GroupID),
+	}
+	for _, r := range opts.Rules {
+		switch r.Scope {
+		case core.ScopeNode:
+			m.nodeRules = append(m.nodeRules, r)
+		case core.ScopeChild:
+			m.chldRules = append(m.chldRules, r)
+		case core.ScopeJoinTree:
+			m.treeRules = append(m.treeRules, r)
+		default:
+			return nil, fmt.Errorf("memo: rule %q has no group-local scope", r.Name)
+		}
+	}
+	return m, nil
+}
+
+// Groups returns the number of equivalence groups.
+func (m *Memo) Groups() int { return len(m.groups) }
+
+// Exprs returns the total number of admitted expressions.
+func (m *Memo) Exprs() int { return len(m.exprs) }
+
+// Capped reports whether exploration stopped at MaxExprs.
+func (m *Memo) Capped() bool { return m.capped }
+
+// RuleFirings counts, per rule, the expressions it admitted.
+func (m *Memo) RuleFirings() map[string]int {
+	out := make(map[string]int)
+	for _, e := range m.exprs {
+		if e.rule != "" {
+			out[e.rule]++
+		}
+	}
+	return out
+}
+
+// Add ingests a (sub)tree and returns its group, creating groups for
+// it and every novel descendant subtree. Identical trees — and trees
+// whose expression shape is already known — land in their existing
+// group.
+func (m *Memo) Add(n plan.Node) GroupID {
+	k := plan.Key(n)
+	if gid, ok := m.byKey[k]; ok {
+		return gid
+	}
+	ch := n.Children()
+	cgids := make([]GroupID, len(ch))
+	for i, c := range ch {
+		cgids[i] = m.Add(c)
+	}
+	en := m.canonical(n, ch, cgids)
+	ek := plan.Key(en)
+	if gid, ok := m.byExprKey[ek]; ok {
+		// A different spelling of a known expression (some subtree was
+		// a non-representative member): remember it so future ingests
+		// of this exact tree short-circuit.
+		m.byKey[k] = gid
+		return gid
+	}
+	gid := GroupID(len(m.groups))
+	g := &group{
+		id:      gid,
+		key:     ek,
+		repr:    en,
+		exprSet: make(map[string]bool),
+	}
+	m.groups = append(m.groups, g)
+	m.byKey[k] = gid
+	m.byKey[ek] = gid
+	if m.obs() != nil {
+		m.obs().Counter("memo.groups").Inc()
+	}
+	m.admit(g, en, ek, cgids, "", -1)
+	return gid
+}
+
+// canonical rebuilds n with each child replaced by its group's
+// representative, yielding the expression's canonical member tree.
+func (m *Memo) canonical(n plan.Node, ch []plan.Node, cgids []GroupID) plan.Node {
+	if len(ch) == 0 {
+		return n
+	}
+	changed := false
+	rch := make([]plan.Node, len(ch))
+	for i, gid := range cgids {
+		rch[i] = m.groups[gid].repr
+		if rch[i] != ch[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		return n
+	}
+	return n.WithChildren(rch)
+}
+
+// admit appends a deduplicated expression to g. Callers have already
+// checked g.exprSet (or know the group is fresh).
+func (m *Memo) admit(g *group, en plan.Node, ek string, cgids []GroupID, rule string, from exprID) *expr {
+	e := &expr{
+		id:       exprID(len(m.exprs)),
+		group:    g.id,
+		node:     en,
+		children: cgids,
+		rule:     rule,
+		from:     from,
+		consumed: make([]int, len(cgids)),
+	}
+	m.exprs = append(m.exprs, e)
+	g.exprs = append(g.exprs, e.id)
+	g.exprSet[ek] = true
+	if _, ok := m.byExprKey[ek]; !ok {
+		m.byExprKey[ek] = g.id
+	}
+	if _, ok := m.byKey[ek]; !ok {
+		m.byKey[ek] = g.id
+	}
+	if reg := m.obs(); reg != nil {
+		reg.Counter("memo.exprs").Inc()
+		if rule != "" {
+			reg.Counter("optimizer.rule_admitted." + rule).Inc()
+		}
+	}
+	return e
+}
+
+// addResult ingests one rule result tree as an expression of group g
+// (the result is equivalent to g because the rule fired on one of g's
+// member trees). Reports whether the expression was new.
+func (m *Memo) addResult(g *group, n plan.Node, rule string, from exprID) bool {
+	ch := n.Children()
+	cgids := make([]GroupID, len(ch))
+	for i, c := range ch {
+		cgids[i] = m.Add(c)
+	}
+	en := m.canonical(n, ch, cgids)
+	ek := plan.Key(en)
+	if g.exprSet[ek] {
+		if reg := m.obs(); reg != nil {
+			reg.Counter("memo.dedup_hits").Inc()
+		}
+		return false
+	}
+	m.admit(g, en, ek, cgids, rule, from)
+	if k := plan.Key(n); k != ek {
+		if _, ok := m.byKey[k]; !ok {
+			m.byKey[k] = g.id
+		}
+	}
+	return true
+}
+
+func (m *Memo) obs() *obs.Registry { return m.opts.Obs }

@@ -18,6 +18,19 @@ import (
 // Simplify first; outer joins need the operator-assignment machinery
 // of the saturation path).
 //
+// dpMaskLimit is the widest relation set the DP's uint64 subset masks
+// can represent. Two bits are held back so the full-set mask and the
+// subset-enumeration arithmetic stay overflow-free.
+const dpMaskLimit = 62
+
+// dpGuard rejects relation counts the subset bitmask cannot encode.
+func dpGuard(n int) error {
+	if n > dpMaskLimit {
+		return fmt.Errorf("optimizer: %d relations exceed the DP limit of %d", n, dpMaskLimit)
+	}
+	return nil
+}
+
 // Each conjunct of every join predicate is placed at the first
 // combination where both its sides are available, which is exactly
 // the conjunct break-up freedom the paper's Definition 3.2 adds.
@@ -32,8 +45,8 @@ func (o *Optimizer) OptimizeDP(q plan.Node, db plan.Database) (*Result, error) {
 		}
 	}
 	n := len(h.Nodes)
-	if n > 30 {
-		return nil, fmt.Errorf("optimizer: %d relations exceed the DP limit", n)
+	if err := dpGuard(n); err != nil {
+		return nil, err
 	}
 	names := append([]string(nil), h.Nodes...)
 	sort.Strings(names)
@@ -45,12 +58,12 @@ func (o *Optimizer) OptimizeDP(q plan.Node, db plan.Database) (*Result, error) {
 	// Collect every conjunct with its relation mask.
 	type conjunct struct {
 		pred expr.Pred
-		mask uint32
+		mask uint64
 	}
 	var conjuncts []conjunct
 	for _, e := range h.Edges {
 		for _, c := range expr.Conjuncts(e.Pred) {
-			var m uint32
+			var m uint64
 			for _, rel := range expr.Rels(c) {
 				i, ok := index[rel]
 				if !ok {
@@ -66,7 +79,7 @@ func (o *Optimizer) OptimizeDP(q plan.Node, db plan.Database) (*Result, error) {
 		node plan.Node
 		cost float64
 	}
-	best := make(map[uint32]entry)
+	best := make(map[uint64]entry)
 	for i, name := range names {
 		scan := plan.NewScan(name)
 		cost, err := o.Est.PlanCost(scan)
@@ -76,18 +89,24 @@ func (o *Optimizer) OptimizeDP(q plan.Node, db plan.Database) (*Result, error) {
 		best[1<<uint(i)] = entry{node: scan, cost: cost}
 	}
 
-	full := uint32(1)<<uint(n) - 1
-	subsets := make([]uint32, 0, 1<<uint(n))
-	for s := uint32(1); s <= full; s++ {
+	full := uint64(1)<<uint(n) - 1
+	// Preallocation is a hint only: beyond ~2^20 subsets the append
+	// growth is noise next to the enumeration itself.
+	hint := n
+	if hint > 20 {
+		hint = 20
+	}
+	subsets := make([]uint64, 0, 1<<uint(hint))
+	for s := uint64(1); s <= full; s++ {
 		subsets = append(subsets, s)
 	}
 	sort.Slice(subsets, func(i, j int) bool {
-		return bits.OnesCount32(subsets[i]) < bits.OnesCount32(subsets[j])
+		return bits.OnesCount64(subsets[i]) < bits.OnesCount64(subsets[j])
 	})
 
 	considered := 0
 	for _, s := range subsets {
-		if bits.OnesCount32(s) < 2 {
+		if bits.OnesCount64(s) < 2 {
 			continue
 		}
 		low := s & (-s)

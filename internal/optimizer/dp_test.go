@@ -126,3 +126,19 @@ func TestDPRejectsOuterJoins(t *testing.T) {
 		t.Error("outer joins must be rejected")
 	}
 }
+
+// TestDPGuardBoundary pins the widened subset-mask capacity: the old
+// uint32 masks capped the DP at 30 relations, so counts just past
+// that boundary must now be accepted, up to the uint64 limit of 62.
+func TestDPGuardBoundary(t *testing.T) {
+	for _, n := range []int{1, 30, 31, 32, 62} {
+		if err := dpGuard(n); err != nil {
+			t.Errorf("dpGuard(%d) = %v, want nil", n, err)
+		}
+	}
+	for _, n := range []int{63, 64, 100} {
+		if err := dpGuard(n); err == nil {
+			t.Errorf("dpGuard(%d) accepted a relation set the mask cannot encode", n)
+		}
+	}
+}

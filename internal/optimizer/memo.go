@@ -1,0 +1,100 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/memo"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/simplify"
+)
+
+// optimizeMemo is the memo-based enumeration path (Options.UseMemo):
+// the query and its simplified variant seed a group table, a fixpoint
+// exploration saturates the groups under the rule set, and the best
+// plan is extracted bottom-up with branch-and-bound pruning instead
+// of costing every materialized member of the class.
+//
+// The Result contract is preserved with memo semantics: Considered
+// counts admitted expressions (matched by the
+// optimizer.plans_enumerated counter), RuleFirings credits the rule
+// that admitted each expression, Best carries the derivation chain
+// reconstructed from the memo's provenance records, and Plans holds
+// the winner only.
+func (o *Optimizer) optimizeMemo(q plan.Node, rules []core.Rule, maxPlans int, reg *obs.Registry, phase func(string) func(), phases *[]PhaseTiming) (*Result, error) {
+	reg.Counter("optimizer.memo_runs").Inc()
+	type seed struct {
+		node   plan.Node
+		prefix []string
+	}
+	seeds := []seed{{node: q}}
+	endSimplify := phase("simplify")
+	if s := simplify.Simplify(q); s.String() != q.String() {
+		seeds = append(seeds, seed{node: s, prefix: []string{"simplify-outer-joins"}})
+		reg.Counter("optimizer.simplified_seeds").Inc()
+	}
+	endSimplify()
+
+	endExplore := phase("explore")
+	m, err := memo.New(memo.Options{
+		Rules:    rules,
+		MaxExprs: maxPlans,
+		Workers:  o.Opts.Workers,
+		Obs:      reg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("optimizer: %w", err)
+	}
+	// Seeds may collapse into one group (simplification can be a
+	// no-op modulo rewrites already discovered); keep the distinct
+	// roots with the first seed's prefix winning ties.
+	var roots []memo.GroupID
+	var prefixes [][]string
+	rootSeen := make(map[memo.GroupID]bool)
+	for _, sd := range seeds {
+		gid := m.Add(sd.node)
+		if !rootSeen[gid] {
+			rootSeen[gid] = true
+			roots = append(roots, gid)
+			prefixes = append(prefixes, sd.prefix)
+		}
+	}
+	m.Explore()
+	endExplore()
+	reg.Counter("optimizer.plans_enumerated").Add(int64(m.Exprs()))
+	reg.Gauge("optimizer.last_considered").Set(int64(m.Exprs()))
+
+	endCost := phase("cost")
+	sess := o.Est.NewSession(reg)
+	best, err := m.Extract(roots, sess)
+	if err != nil {
+		return nil, fmt.Errorf("optimizer: extracting %s: %w", q, err)
+	}
+	bestRows, err := sess.Rows(best.Plan)
+	if err != nil {
+		return nil, err
+	}
+	origCost, err := sess.PlanCost(q)
+	if err != nil {
+		return nil, fmt.Errorf("optimizer: costing %s: %w", q, err)
+	}
+	origRows, err := sess.Rows(q)
+	if err != nil {
+		return nil, err
+	}
+	endCost()
+	reg.Counter("optimizer.plans_costed").Inc()
+
+	derivation := append(append([]string(nil), prefixes[best.Root]...), m.Derivation(best.Group)...)
+	bestRanked := Ranked{Plan: best.Plan, Cost: best.Cost, Rows: bestRows, Derivation: derivation}
+	res := &Result{
+		Best:        bestRanked,
+		Original:    Ranked{Plan: q, Cost: origCost, Rows: origRows},
+		Considered:  m.Exprs(),
+		Plans:       []Ranked{bestRanked},
+		RuleFirings: m.RuleFirings(),
+		Phases:      *phases,
+	}
+	return res, nil
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/memo"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/simplify"
@@ -46,7 +47,28 @@ type Options struct {
 	// Tracer, when non-nil, collects a span tree of the optimization
 	// phases (simplify, saturate, cost, rank) for -trace output.
 	Tracer *obs.Tracer
+	// UseMemo selects the enumeration engine. The default, MemoAuto,
+	// explores through the internal/memo group table — equivalence
+	// groups with branch-and-bound extraction — whenever every rule
+	// declares a group-local scope, and falls back to whole-tree
+	// saturation otherwise (optimizer.memo_fallback counts the
+	// fallbacks). MemoOff forces saturation. On the memo path,
+	// Result.Considered counts admitted memo expressions and
+	// Result.Plans holds only the winner — the full ranked list is a
+	// saturation-path artifact (the memo never materializes the class).
+	UseMemo MemoMode
 }
+
+// MemoMode is the Options.UseMemo setting.
+type MemoMode uint8
+
+const (
+	// MemoAuto (the default) uses the memo when the rule set supports
+	// it, saturation otherwise.
+	MemoAuto MemoMode = iota
+	// MemoOff always uses whole-tree saturation.
+	MemoOff
+)
 
 // Ranked is one enumerated plan with its estimated cost.
 type Ranked struct {
@@ -126,6 +148,22 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (*Result, error) {
 	if maxPlans <= 0 {
 		maxPlans = 20000
 	}
+	rules := o.Opts.Rules
+	if rules == nil {
+		rules = core.DefaultRules()
+	}
+	if o.Opts.PushUpAggregates {
+		// Aggregation pull-up participates in the closure itself, so
+		// it composes with reorderings (Query 1's join must move next
+		// to the aggregation before the pull-up applies).
+		rules = append(append([]core.Rule(nil), rules...), core.PushUpRule(db))
+	}
+	if o.Opts.UseMemo == MemoAuto {
+		if ok, _ := memo.Supports(rules); ok {
+			return o.optimizeMemo(q, rules, maxPlans, reg, phase, &phases)
+		}
+		reg.Counter("optimizer.memo_fallback").Inc()
+	}
 	type seed struct {
 		node   plan.Node
 		prefix []string
@@ -139,16 +177,6 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (*Result, error) {
 		reg.Counter("optimizer.simplified_seeds").Inc()
 	}
 	endSimplify()
-	rules := o.Opts.Rules
-	if o.Opts.PushUpAggregates {
-		// Aggregation pull-up participates in the closure itself, so
-		// it composes with reorderings (Query 1's join must move next
-		// to the aggregation before the pull-up applies).
-		if rules == nil {
-			rules = core.DefaultRules()
-		}
-		rules = append(append([]core.Rule(nil), rules...), core.PushUpRule(db))
-	}
 	endSaturate := phase("saturate")
 	seen := make(map[string]bool)
 	var all []plan.Node

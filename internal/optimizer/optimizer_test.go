@@ -180,7 +180,11 @@ func TestPushUpSeeding(t *testing.T) {
 		"r2": buildRel("r2", 50, func(i int) (int64, int64) { return int64(i % 10), int64(i % 6) }),
 	}
 	est := stats.NewEstimator(stats.FromDatabase(db))
-	res, err := New(est).Optimize(q, db)
+	o := New(est)
+	// This test inspects the full ranked plan list, which only the
+	// saturation path materializes (the memo keeps the class implicit).
+	o.Opts.UseMemo = MemoOff
+	res, err := o.Optimize(q, db)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,70 @@
+package stats
+
+import "repro/internal/plan"
+
+// PlanCostBound is PlanCost with a branch-and-bound early exit: it
+// returns (cost, true) when the plan's total cost is strictly below
+// bound, and (partial, false) as soon as the bottom-up recursion can
+// tell the total will reach it — without finishing (or memoizing) the
+// remainder of the tree. Because every node's cost is the sum of its
+// child costs plus a non-negative operator cost, the running child
+// sum is a lower bound on the total, so bailing when it crosses the
+// bound never misclassifies a cheaper plan.
+//
+// Subtrees that do complete are memoized exactly as under PlanCost,
+// so an abandoned candidate still seeds the session's cache for the
+// next one — the usual pattern during memo extraction, where sibling
+// candidates share most subtrees.
+func (s *Session) PlanCostBound(n plan.Node, bound float64) (float64, bool, error) {
+	var full func(n plan.Node) (float64, float64, error)
+	full = func(n plan.Node) (float64, float64, error) {
+		memoize := len(n.Children()) > 0
+		var key string
+		if memoize {
+			key = plan.Key(n)
+			if v, ok := s.cost.Load(key); ok {
+				s.costHits.Inc()
+				ent := v.(memoEntry)
+				return ent.rows, ent.cost, nil
+			}
+			s.costMiss.Inc()
+		}
+		rows, cost, err := s.e.costSwitch(n, s, full)
+		if err != nil {
+			return 0, 0, err
+		}
+		if memoize {
+			s.cost.Store(key, memoEntry{rows: rows, cost: cost})
+		}
+		return rows, cost, nil
+	}
+	var bounded func(n plan.Node, bound float64) (float64, bool, error)
+	bounded = func(n plan.Node, bound float64) (float64, bool, error) {
+		if len(n.Children()) > 0 {
+			if v, ok := s.cost.Load(plan.Key(n)); ok {
+				s.costHits.Inc()
+				cost := v.(memoEntry).cost
+				return cost, cost < bound, nil
+			}
+		}
+		var childSum float64
+		for _, c := range n.Children() {
+			cc, within, err := bounded(c, bound-childSum)
+			if err != nil {
+				return 0, false, err
+			}
+			childSum += cc
+			if !within || childSum >= bound {
+				return childSum, false, nil
+			}
+		}
+		// All children are complete (and cached), so finishing this
+		// node through the exact recursion is one costSwitch call.
+		_, cost, err := full(n)
+		if err != nil {
+			return 0, false, err
+		}
+		return cost, cost < bound, nil
+	}
+	return bounded(n, bound)
+}
