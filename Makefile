@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: all build vet test race race-par race-exec smoke bench bench-all check clean
+.PHONY: all build vet test race race-par race-exec faults smoke bench bench-all check clean
 
 all: vet build test
 
 # The full pre-merge gauntlet: static checks, build, the tier-1 test
-# suite, and both benchmark regression gates.
-check: vet build test bench
+# suite, the fault-injection suite under the race detector, and both
+# benchmark regression gates.
+check: vet build test faults bench
 
 build:
 	$(GO) build ./...
@@ -36,6 +37,16 @@ race-par:
 race-exec:
 	$(GO) test -race -run 'TestPartitioned|TestJoinExecParallel|TestRunParallel|TestColliding|TestHashJoinCollision|TestGroupByCollisions|TestDistinctAggCollisions|TestGenSelMGOJCollisions' \
 		./internal/executor/
+
+# Resource-governance and fault-injection suite under the race
+# detector: every registered guard point armed to error and to panic
+# across optimizer engines, executor entry points and datagen;
+# cancellation, budget-trip and worker-drain properties; the
+# untripped-budget determinism gates; and the cmd/reorder exit-code
+# contract.
+faults:
+	$(GO) test -race -run 'TestOptimizerFault|TestOptimizerCancelled|TestOptimizerBudget|TestExecutor|TestGuarded|TestGuard|TestBudget|TestSafely|TestRecover|TestFault|TestValidate|TestRun' \
+		./internal/guard/ ./internal/optimizer/ ./internal/executor/ ./internal/datagen/ ./internal/plan/ ./cmd/reorder/
 
 # Quick observability smoke: the concurrent registry/tracer tests.
 smoke:

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/benchgate"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
@@ -52,6 +54,12 @@ type report struct {
 	// optimization: extraction candidates discarded by branch-and-bound
 	// before full costing.
 	MemoPrunedQ5 int64 `json:"memoPrunedQ5"`
+	// GuardOverheadQ5 and GuardOverheadChain7 are the guarded /
+	// unguarded time ratios on the memo-engine optimizations: the cost
+	// of threading an untripped budget (cancellation + expression
+	// accounting at every wave boundary) through the whole run.
+	GuardOverheadQ5     float64 `json:"guardOverheadQ5"`
+	GuardOverheadChain7 float64 `json:"guardOverheadChain7"`
 }
 
 // Seed numbers measured at the pre-change commit on this container
@@ -105,9 +113,28 @@ func optimizeBench(q plan.Node, db plan.Database, est *stats.Estimator, mode opt
 	}
 }
 
+// optimizeBenchGuarded is optimizeBench with a budget that never
+// trips threaded through the run — it measures pure guard overhead.
+func optimizeBenchGuarded(q plan.Node, db plan.Database, est *stats.Estimator, mode optimizer.MemoMode) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := optimizer.New(est)
+			o.Opts.UseMemo = mode
+			o.Opts.MaxPlans = 10000
+			o.Opts.Obs = obs.NewRegistry()
+			o.Opts.Budget = guard.New(context.Background(), guard.Limits{MaxExprs: 1 << 40}, nil)
+			if _, err := o.Optimize(q, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func main() {
 	out := flag.String("out", "BENCH_optimizer.json", "where to write the JSON report")
 	tolerance := flag.Float64("tolerance", 1.10, "max allowed candidate/baseline time ratio before failing")
+	guardTolerance := flag.Float64("guard-tolerance", 1.02, "max allowed guarded/unguarded time ratio (guard overhead budget)")
 	flag.Parse()
 
 	fmt.Printf("benchopt: GOMAXPROCS=%d %s\n", runtime.GOMAXPROCS(0), runtime.Version())
@@ -123,9 +150,14 @@ func main() {
 	db := benchDB()
 	est := stats.NewEstimator(stats.FromDatabase(db))
 	satOptQ5 := benchgate.Run("OptimizeQ5/saturate", &results, optimizeBench(q5, db, est, optimizer.MemoOff))
-	memOptQ5 := benchgate.Run("OptimizeQ5/memo", &results, optimizeBench(q5, db, est, optimizer.MemoAuto))
 	satOptChain := benchgate.Run("OptimizeChain7/saturate", &results, optimizeBench(chain, db, est, optimizer.MemoOff))
-	memOptChain := benchgate.Run("OptimizeChain7/memo", &results, optimizeBench(chain, db, est, optimizer.MemoAuto))
+	// The guard-overhead gates compare at a few percent tolerance, so
+	// both sides are measured min-of-3 — a single testing.Benchmark
+	// sample jitters more than the overhead being gated.
+	memOptQ5 := benchgate.RunBest("OptimizeQ5/memo", &results, 3, optimizeBench(q5, db, est, optimizer.MemoAuto))
+	memOptChain := benchgate.RunBest("OptimizeChain7/memo", &results, 3, optimizeBench(chain, db, est, optimizer.MemoAuto))
+	memOptQ5G := benchgate.RunBest("OptimizeQ5/memo-guarded", &results, 3, optimizeBenchGuarded(q5, db, est, optimizer.MemoAuto))
+	memOptChainG := benchgate.RunBest("OptimizeChain7/memo-guarded", &results, 3, optimizeBenchGuarded(chain, db, est, optimizer.MemoAuto))
 
 	// One instrumented memo run for the branch-and-bound evidence.
 	reg := obs.NewRegistry()
@@ -176,6 +208,9 @@ func main() {
 		SpeedupMemoQ5:     satOptQ5.MsPerOp / memOptQ5.MsPerOp,
 		SpeedupMemoChain7: satOptChain.MsPerOp / memOptChain.MsPerOp,
 		MemoPrunedQ5:      memoPruned,
+
+		GuardOverheadQ5:     memOptQ5G.MsPerOp / memOptQ5.MsPerOp,
+		GuardOverheadChain7: memOptChainG.MsPerOp / memOptChain.MsPerOp,
 	}
 	if err := benchgate.WriteJSON(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchopt:", err)
@@ -185,6 +220,8 @@ func main() {
 		rep.SpeedupQ5Serial, rep.SpeedupQ5Parallel, rep.SpeedupCostMemo)
 	fmt.Printf("memo engine vs saturation: Q5 %.2fx, chain7 %.2fx\n",
 		rep.SpeedupMemoQ5, rep.SpeedupMemoChain7)
+	fmt.Printf("guard overhead (guarded/unguarded): Q5 %.4f, chain7 %.4f\n",
+		rep.GuardOverheadQ5, rep.GuardOverheadChain7)
 	fmt.Println("wrote", *out)
 
 	// Regression gates: the parallel engine must not lose to the serial
@@ -192,10 +229,15 @@ func main() {
 	// canned workloads (ratio 1.0 ± tolerance; on a 1-CPU host
 	// Workers:GOMAXPROCS resolves to the serial path, so the parallel
 	// gate is exact there and meaningful on multi-core).
+	// The guard gates hold the overhead of an untripped budget — the
+	// always-on production cost of resource governance — under the
+	// guard tolerance (2% by default) on the memo workloads.
 	err := benchgate.Check(
 		benchgate.Gate{Label: "parallel SaturateQ5 vs serial", Candidate: parQ5, Baseline: serialQ5, Tolerance: *tolerance},
 		benchgate.Gate{Label: "memo OptimizeQ5 vs saturation", Candidate: memOptQ5, Baseline: satOptQ5, Tolerance: *tolerance},
 		benchgate.Gate{Label: "memo OptimizeChain7 vs saturation", Candidate: memOptChain, Baseline: satOptChain, Tolerance: *tolerance},
+		benchgate.Gate{Label: "guarded OptimizeQ5 vs unguarded", Candidate: memOptQ5G, Baseline: memOptQ5, Tolerance: *guardTolerance},
+		benchgate.Gate{Label: "guarded OptimizeChain7 vs unguarded", Candidate: memOptChainG, Baseline: memOptChain, Tolerance: *guardTolerance},
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchopt:", err)

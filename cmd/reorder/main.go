@@ -22,17 +22,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
 	"runtime"
+	"time"
 
 	reorder "repro"
 
 	"repro/internal/datagen"
+	"repro/internal/executor"
 	"repro/internal/experiments"
+	"repro/internal/guard"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/sql"
@@ -56,9 +60,42 @@ type options struct {
 	trace     bool
 	statsJSON bool
 	workers   int
+	timeout   time.Duration
+	maxExprs  int64
+	maxRows   int64
 }
 
 func (o options) wantAnalyze() bool { return o.stats || o.trace || o.statsJSON }
+
+func (o options) limits() reorder.Limits {
+	return reorder.Limits{MaxExprs: o.maxExprs, MaxRows: o.maxRows}
+}
+
+// context returns the run's context, bounded by -timeout when set.
+func (o options) context() (context.Context, context.CancelFunc) {
+	if o.timeout > 0 {
+		return context.WithTimeout(context.Background(), o.timeout)
+	}
+	return context.Background(), func() {}
+}
+
+// Exit codes: 0 success (including graceful degradation), 2 usage and
+// parse/plan errors, 3 resource-governance aborts (timeout,
+// cancellation, budget trips), 1 any other runtime failure.
+const (
+	exitOK      = 0
+	exitRuntime = 1
+	exitUsage   = 2
+	exitGuard   = 3
+)
+
+// exitFor classifies an error into the command's exit code.
+func exitFor(err error) int {
+	if guard.IsCancelled(err) || guard.IsBudget(err) {
+		return exitGuard
+	}
+	return exitRuntime
+}
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("reorder", flag.ContinueOnError)
@@ -74,12 +111,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&o.trace, "trace", false, "print the optimizer/executor span trace")
 	fs.BoolVar(&o.statsJSON, "statsjson", false, "dump the EXPLAIN ANALYZE report as JSON")
 	fs.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "goroutines for plan enumeration and costing (1 = serial; the result is identical for any value)")
+	fs.DurationVar(&o.timeout, "timeout", 0, "wall-clock budget for the whole run (0 = unlimited); exceeding it exits 3")
+	fs.Int64Var(&o.maxExprs, "max-exprs", 0, "cap on enumerated plan expressions (0 = unlimited); tripping it degrades to a best-effort plan, exit 0")
+	fs.Int64Var(&o.maxRows, "max-rows", 0, "cap on intermediate rows during execution (0 = unlimited); tripping it exits 3")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: reorder -query <sql> | -demo <supplier|q4|query2> [flags]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return exitUsage
 	}
 
 	db := datagen.Supplier(datagen.DefaultSupplierConfig)
@@ -87,7 +127,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		loaded, err := reorder.LoadCSVDir(o.dataDir)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
-			return 1
+			return exitRuntime
 		}
 		db = loaded
 	}
@@ -98,34 +138,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if o.query == "" {
 		fmt.Fprintln(stderr, "reorder: provide -query or -demo (supplier | q4 | query2)")
 		fs.Usage()
-		return 2
+		return exitUsage
 	}
 
 	node, err := sql.ParseAndLower(o.query, db)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
-		return 1
+		return exitUsage
 	}
 	fmt.Fprintln(stdout, "query plan as written:")
 	fmt.Fprintln(stdout, plan.Indent(node))
 
+	ctx, cancel := o.context()
+	defer cancel()
 	est := stats.NewEstimator(stats.FromDatabase(db))
 	opt := optimizer.New(est)
 	opt.Opts.Workers = o.workers
+	opt.Opts.Budget = guard.New(ctx, o.limits(), nil)
 	res, err := opt.Optimize(node, db)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
-		return 1
+		return exitFor(err)
 	}
 	fmt.Fprintln(stdout, optimizer.Explain(res))
 
 	if o.baseline {
 		bopt := optimizer.NewBaseline(est)
 		bopt.Opts.Workers = o.workers
+		bopt.Opts.Budget = guard.New(ctx, o.limits(), nil)
 		base, err := bopt.Optimize(node, db)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
-			return 1
+			return exitFor(err)
 		}
 		fmt.Fprintf(stdout, "baseline (no generalized selection): %d plans, best cost %.1f\n",
 			base.Considered, base.Best.Cost)
@@ -134,18 +178,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, plan.DOT(res.Best.Plan))
 	}
 	if o.rows {
-		out, err := res.Best.Plan.Eval(db)
+		out, err := executor.RunGuarded(res.Best.Plan, db, guard.New(ctx, o.limits(), nil))
 		if err != nil {
 			fmt.Fprintln(stderr, err)
-			return 1
+			return exitFor(err)
 		}
 		out.SortForDisplay()
 		fmt.Fprintln(stdout, out)
 	}
 	if o.wantAnalyze() {
-		return analyze(node, db, o, stdout, stderr)
+		return analyze(ctx, node, db, o, stdout, stderr)
 	}
-	return 0
+	return exitOK
 }
 
 // runDemo dispatches a named demo. Without analysis flags it prints
@@ -169,24 +213,26 @@ func runDemo(o options, db reorder.Database, stdout, stderr io.Writer) int {
 		}
 	default:
 		fmt.Fprintf(stderr, "reorder: unknown demo %q (have supplier, q4, query2)\n", o.demo)
-		return 2
+		return exitUsage
 	}
 	if o.wantAnalyze() {
 		if node == nil {
 			fmt.Fprintf(stderr, "reorder: demo %q has no executable database; -stats/-trace/-statsjson need supplier or query2\n", o.demo)
-			return 2
+			return exitUsage
 		}
-		return analyze(node, db, o, stdout, stderr)
+		ctx, cancel := o.context()
+		defer cancel()
+		return analyze(ctx, node, db, o, stdout, stderr)
 	}
 	for _, id := range ids {
 		out, err := experiments.Run(id)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
-			return 1
+			return exitRuntime
 		}
 		fmt.Fprintln(stdout, out)
 	}
-	return 0
+	return exitOK
 }
 
 // query2DB is the skewed three-relation database experiment E9 uses
@@ -200,13 +246,13 @@ func query2DB() reorder.Database {
 	}
 }
 
-// analyze optimizes node, executes it instrumented and prints the
-// requested views of the report.
-func analyze(node reorder.Node, db reorder.Database, o options, stdout, stderr io.Writer) int {
-	rep, err := reorder.ExplainAnalyzeWorkers(node, db, o.workers)
+// analyze optimizes node, executes it instrumented under the run's
+// budget and prints the requested views of the report.
+func analyze(ctx context.Context, node reorder.Node, db reorder.Database, o options, stdout, stderr io.Writer) int {
+	rep, err := reorder.ExplainAnalyzeBudget(ctx, node, db, o.workers, o.limits())
 	if err != nil {
 		fmt.Fprintln(stderr, err)
-		return 1
+		return exitFor(err)
 	}
 	if o.stats {
 		fmt.Fprintln(stdout, rep.String())
@@ -218,10 +264,10 @@ func analyze(node reorder.Node, db reorder.Database, o options, stdout, stderr i
 		data, err := rep.JSON()
 		if err != nil {
 			fmt.Fprintln(stderr, err)
-			return 1
+			return exitRuntime
 		}
 		stdout.Write(data)
 		fmt.Fprintln(stdout)
 	}
-	return 0
+	return exitOK
 }

@@ -6,12 +6,14 @@
 package reorder
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
 
 	"repro/internal/executor"
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
@@ -35,6 +37,7 @@ type AnalyzeReport struct {
 	OriginalCost float64            `json:"originalCost"`
 	BestCost     float64            `json:"bestCost"`
 	RowsOut      int                `json:"rowsOut"`
+	Degraded     string             `json:"degraded,omitempty"` // non-empty when a budget trip truncated enumeration
 	Phases       []PhaseNs          `json:"phases,omitempty"`
 	RuleFirings  map[string]int     `json:"ruleFirings,omitempty"`
 	Metrics      obs.Snapshot       `json:"metrics"`
@@ -60,20 +63,35 @@ func ExplainAnalyze(q Node, db Database) (*AnalyzeReport, error) {
 // (0 or 1 serial, < 0 GOMAXPROCS). The report is identical for any
 // worker count; only the phase wall times change.
 func ExplainAnalyzeWorkers(q Node, db Database, workers int) (*AnalyzeReport, error) {
+	return explainAnalyze(q, db, workers, nil, obs.NewRegistry())
+}
+
+// ExplainAnalyzeBudget is ExplainAnalyze under resource governance:
+// ctx cancellation/deadline and l's limits bound both the
+// optimization (degrading gracefully on an exprs trip — see
+// AnalyzeReport.Degraded) and the instrumented execution (aborting
+// with a guard error on a rows/bytes trip). Guard counters land in
+// the report's private registry.
+func ExplainAnalyzeBudget(ctx context.Context, q Node, db Database, workers int, l Limits) (*AnalyzeReport, error) {
 	reg := obs.NewRegistry()
+	return explainAnalyze(q, db, workers, guard.New(ctx, l, reg), reg)
+}
+
+func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.Registry) (*AnalyzeReport, error) {
 	tracer := obs.NewTracer()
 	est := stats.NewEstimator(stats.FromDatabase(db))
 	opt := optimizer.New(est)
 	opt.Opts.Obs = reg
 	opt.Opts.Tracer = tracer
 	opt.Opts.Workers = workers
+	opt.Opts.Budget = b
 	res, err := opt.Optimize(q, db)
 	if err != nil {
 		return nil, err
 	}
 
 	execSpan := tracer.Start("execute")
-	out, ann, err := executor.RunInstrumented(res.Best.Plan, db, reg)
+	out, ann, err := executor.RunInstrumentedGuarded(res.Best.Plan, db, reg, b)
 	execSpan.End()
 	if err != nil {
 		return nil, err
@@ -101,6 +119,7 @@ func ExplainAnalyzeWorkers(q Node, db Database, workers int) (*AnalyzeReport, er
 		OriginalCost: res.Original.Cost,
 		BestCost:     res.Best.Cost,
 		RowsOut:      out.Len(),
+		Degraded:     res.Degraded,
 		RuleFirings:  res.RuleFirings,
 		Metrics:      reg.Snapshot(),
 		Spans:        tracer.Snapshot(),
@@ -144,6 +163,9 @@ func (r *AnalyzeReport) String() string {
 	fmt.Fprintf(&b, "original cost:    %.1f\n", r.OriginalCost)
 	fmt.Fprintf(&b, "best cost:        %.1f\n", r.BestCost)
 	fmt.Fprintf(&b, "rows returned:    %d\n", r.RowsOut)
+	if r.Degraded != "" {
+		fmt.Fprintf(&b, "degraded:         %s (best-effort plan, not the full-class optimum)\n", r.Degraded)
+	}
 	if len(r.Phases) > 0 {
 		parts := make([]string, len(r.Phases))
 		for i, p := range r.Phases {

@@ -1,6 +1,7 @@
 package reorder
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -163,5 +164,31 @@ func TestExplainAnalyzeIsolation(t *testing.T) {
 		if got, want := rep.Metrics.Counters["executor.ops"], int64(plan.CountNodes(node)); got != want {
 			t.Errorf("executor.ops = %d, want %d (registry leaked across runs)", got, want)
 		}
+	}
+}
+
+// TestExplainAnalyzeBudgetDegradedStillExecutes pins the one-envelope
+// semantics: when the exprs budget trips during optimization, the run
+// degrades — it must still execute the best-effort plan (the sticky
+// exprs trip is not an execution error) and tag the report.
+func TestExplainAnalyzeBudgetDegradedStillExecutes(t *testing.T) {
+	db := datagen.Supplier(datagen.DefaultSupplierConfig)
+	q := datagen.SupplierQuery()
+	rep, err := ExplainAnalyzeBudget(context.Background(), q, db, 1, Limits{MaxExprs: 5})
+	if err != nil {
+		t.Fatalf("degraded run must execute, not fail: %v", err)
+	}
+	if rep.Degraded == "" {
+		t.Fatal("MaxExprs=5 run did not report degradation")
+	}
+	want, err := Execute(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsOut != want.Len() {
+		t.Errorf("degraded plan returned %d rows, want %d", rep.RowsOut, want.Len())
+	}
+	if !strings.Contains(rep.String(), "degraded:") {
+		t.Error("rendered report is missing the degraded: line")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/plan"
 )
@@ -17,6 +18,12 @@ type SaturateOptions struct {
 	Rules []Rule
 	// MaxPlans caps the equivalence class size (0 means 100000).
 	MaxPlans int
+	// Budget, when non-nil, governs the run: cancellation is checked
+	// at every wave boundary (SaturateGuarded returns
+	// guard.ErrCancelled), and every admitted plan is charged against
+	// the expression budget — tripping it stops enumeration
+	// gracefully with the plans found so far.
+	Budget *guard.Budget
 	// Workers sets the number of goroutines expanding the frontier.
 	// 0 and 1 run the serial loop; < 0 means runtime.GOMAXPROCS(0).
 	// Any value returns the identical plan sequence and derivation
@@ -65,6 +72,10 @@ func Saturate(root plan.Node, opts SaturateOptions) []plan.Node {
 	return plans
 }
 
+// StoppedBudget is the SaturateGuarded stop reason for an expression
+// budget trip; optimizer degradation tags reuse it verbatim.
+const StoppedBudget = "budget:exprs"
+
 // SaturateTraced is Saturate plus a derivation map (keyed by plan
 // fingerprint, i.e. the canonical plan string) recording, for every
 // plan except the root, which rule produced it from which parent.
@@ -79,6 +90,20 @@ func Saturate(root plan.Node, opts SaturateOptions) []plan.Node {
 // the trace and the best-plan choice are identical to the serial run
 // regardless of scheduling.
 func SaturateTraced(root plan.Node, opts SaturateOptions) ([]plan.Node, map[string]Derivation) {
+	plans, trace, _, _ := SaturateGuarded(root, opts)
+	return plans, trace
+}
+
+// SaturateGuarded is SaturateTraced under resource governance. A
+// tripped expression budget is not an error: enumeration stops
+// gracefully and stopped reports StoppedBudget alongside the plans
+// found so far (always at least the root). Cancellation, injected
+// faults and contained rule-application panics return a typed error
+// plus whatever prefix of the closure was admitted before the abort.
+// Checks sit at wave boundaries and admissions only, so a guarded run
+// whose budget never trips produces the same plans and trace as
+// SaturateTraced for any worker count.
+func SaturateGuarded(root plan.Node, opts SaturateOptions) (plans []plan.Node, trace map[string]Derivation, stopped string, err error) {
 	rules := opts.Rules
 	if rules == nil {
 		rules = DefaultRules()
@@ -88,16 +113,16 @@ func SaturateTraced(root plan.Node, opts SaturateOptions) ([]plan.Node, map[stri
 		maxPlans = 100000
 	}
 	if w := opts.workers(); w > 1 {
-		return saturateParallel(root, rules, maxPlans, w, opts.Obs)
+		return saturateParallel(root, rules, maxPlans, w, opts.Budget, opts.Obs)
 	}
-	return saturateSerial(root, rules, maxPlans, opts.Obs)
+	return saturateSerial(root, rules, maxPlans, opts.Budget, opts.Obs)
 }
 
 // saturateSerial is the single-goroutine breadth-first closure. The
 // queue is consumed through a head index with periodic compaction
 // instead of queue = queue[1:], so the backing array of a long run is
 // released as it drains rather than pinned in full.
-func saturateSerial(root plan.Node, rules []Rule, maxPlans int, reg *obs.Registry) ([]plan.Node, map[string]Derivation) {
+func saturateSerial(root plan.Node, rules []Rule, maxPlans int, b *guard.Budget, reg *obs.Registry) ([]plan.Node, map[string]Derivation, string, error) {
 	rootKey := plan.Key(root)
 	seen := map[string]bool{rootKey: true}
 	trace := make(map[string]Derivation)
@@ -106,6 +131,14 @@ func saturateSerial(root plan.Node, rules []Rule, maxPlans int, reg *obs.Registr
 	head := 0
 	var scratch []altPlan // reused across dequeues: alternatives are consumed immediately
 	for head < len(queue) && len(out) < maxPlans {
+		// The serial engine's dequeue is its wave boundary: one
+		// cancellation check and fault point per expanded plan.
+		if err := b.Cancelled(); err != nil {
+			return out, trace, "", err
+		}
+		if err := guard.Hit(guard.PointSaturateWave); err != nil {
+			return out, trace, "", err
+		}
 		cur := queue[head]
 		queue[head] = nil
 		head++
@@ -114,7 +147,16 @@ func saturateSerial(root plan.Node, rules []Rule, maxPlans int, reg *obs.Registr
 			head = 0
 		}
 		curKey := plan.Key(cur) // cached: computed once per plan, ever
-		scratch = appendAlternatives(scratch[:0], cur, rules)
+		err := guard.Safely("saturate", curKey, reg, func() error {
+			if e := guard.Hit(guard.PointRuleApply); e != nil {
+				return e
+			}
+			scratch = appendAlternatives(scratch[:0], cur, rules)
+			return nil
+		})
+		if err != nil {
+			return out, trace, "", err
+		}
 		for _, alt := range scratch {
 			if reg != nil {
 				reg.Counter("optimizer.rule_applied." + alt.rule).Inc()
@@ -134,6 +176,9 @@ func saturateSerial(root plan.Node, rules []Rule, maxPlans int, reg *obs.Registr
 				reg.Counter("optimizer.rule_admitted." + alt.rule).Inc()
 				reg.Counter("optimizer.plans_admitted").Inc()
 			}
+			if b.ChargeExprs(1) != nil {
+				return out, trace, StoppedBudget, nil
+			}
 			if len(out) >= maxPlans {
 				if reg != nil {
 					reg.Counter("optimizer.enumeration_capped").Inc()
@@ -142,7 +187,7 @@ func saturateSerial(root plan.Node, rules []Rule, maxPlans int, reg *obs.Registr
 			}
 		}
 	}
-	return out, trace
+	return out, trace, "", nil
 }
 
 // saturateParallel expands the closure wave by wave: all plans
@@ -153,7 +198,7 @@ func saturateSerial(root plan.Node, rules []Rule, maxPlans int, reg *obs.Registr
 // breadth-first admission also processes the queue in exactly that
 // order, the plan sequence and trace are bit-identical to
 // saturateSerial's.
-func saturateParallel(root plan.Node, rules []Rule, maxPlans, workers int, reg *obs.Registry) ([]plan.Node, map[string]Derivation) {
+func saturateParallel(root plan.Node, rules []Rule, maxPlans, workers int, b *guard.Budget, reg *obs.Registry) ([]plan.Node, map[string]Derivation, string, error) {
 	rootKey := plan.Key(root)
 	seen := map[string]bool{rootKey: true}
 	trace := make(map[string]Derivation)
@@ -163,7 +208,18 @@ func saturateParallel(root plan.Node, rules []Rule, maxPlans, workers int, reg *
 		reg.Gauge("optimizer.saturate.workers").Set(int64(workers))
 	}
 	for len(frontier) > 0 && len(out) < maxPlans {
+		if err := b.Cancelled(); err != nil {
+			return out, trace, "", err
+		}
+		if err := guard.Hit(guard.PointSaturateWave); err != nil {
+			return out, trace, "", err
+		}
 		results := make([][]altPlan, len(frontier))
+		// Per-item error slots: a boundary defer cannot see a worker
+		// goroutine's panic, so each item runs under guard.Safely and
+		// the lowest-index failure wins — deterministic for any
+		// scheduling.
+		errs := make([]error, len(frontier))
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		nw := workers
@@ -180,25 +236,31 @@ func saturateParallel(root plan.Node, rules []Rule, maxPlans, workers int, reg *
 					if i >= len(frontier) {
 						break
 					}
-					alts := appendAlternatives(nil, frontier[i], rules)
-					// Force fingerprints while parallel (cached for the
-					// merge) and drop candidates already admitted by a
-					// previous wave; within-wave duplicates are caught
-					// in the ordered merge below.
-					kept := alts[:0]
-					for _, a := range alts {
-						if reg != nil {
-							reg.Counter("optimizer.rule_applied." + a.rule).Inc()
+					errs[i] = guard.Safely("saturate", plan.Key(frontier[i]), reg, func() error {
+						if e := guard.Hit(guard.PointRuleApply); e != nil {
+							return e
 						}
-						if seen[plan.Key(a.plan)] {
+						alts := appendAlternatives(nil, frontier[i], rules)
+						// Force fingerprints while parallel (cached for the
+						// merge) and drop candidates already admitted by a
+						// previous wave; within-wave duplicates are caught
+						// in the ordered merge below.
+						kept := alts[:0]
+						for _, a := range alts {
 							if reg != nil {
-								reg.Counter("optimizer.dedup_hits").Inc()
+								reg.Counter("optimizer.rule_applied." + a.rule).Inc()
 							}
-							continue
+							if seen[plan.Key(a.plan)] {
+								if reg != nil {
+									reg.Counter("optimizer.dedup_hits").Inc()
+								}
+								continue
+							}
+							kept = append(kept, a)
 						}
-						kept = append(kept, a)
-					}
-					results[i] = kept
+						results[i] = kept
+						return nil
+					})
 				}
 				if reg != nil {
 					reg.Histogram("optimizer.saturate.worker_busy_ns").ObserveDuration(time.Since(start))
@@ -206,6 +268,11 @@ func saturateParallel(root plan.Node, rules []Rule, maxPlans, workers int, reg *
 			}()
 		}
 		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return out, trace, "", e
+			}
+		}
 		if reg != nil {
 			reg.Counter("optimizer.saturate.waves").Inc()
 		}
@@ -228,6 +295,9 @@ func saturateParallel(root plan.Node, rules []Rule, maxPlans, workers int, reg *
 					reg.Counter("optimizer.rule_admitted." + alt.rule).Inc()
 					reg.Counter("optimizer.plans_admitted").Inc()
 				}
+				if b.ChargeExprs(1) != nil {
+					return out, trace, StoppedBudget, nil
+				}
 				if len(out) >= maxPlans {
 					if reg != nil {
 						reg.Counter("optimizer.enumeration_capped").Inc()
@@ -238,7 +308,7 @@ func saturateParallel(root plan.Node, rules []Rule, maxPlans, workers int, reg *
 		}
 		frontier = out[waveStart:]
 	}
-	return out, trace
+	return out, trace, "", nil
 }
 
 // DerivationChain reconstructs the rule applications leading from the

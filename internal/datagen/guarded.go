@@ -1,0 +1,146 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/guard"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// genBatchRows is the generator's guard granularity: the budget's
+// cancellation and the datagen fault point are checked once per this
+// many generated rows, so aborting a large synthetic build responds
+// within one batch. Generated base tables are not charged against the
+// row/byte limits — like scans in the executor, base data is input,
+// not intermediate state; the limits exist to bound what queries
+// *produce*.
+const genBatchRows = 1024
+
+// genCheck is the per-batch guard check shared by the guarded
+// generators.
+func genCheck(i int, b *guard.Budget) error {
+	if i%genBatchRows != 0 {
+		return nil
+	}
+	if err := guard.Hit(guard.PointDatagenBatch); err != nil {
+		return err
+	}
+	return b.Cancelled()
+}
+
+// UniformGuarded is Uniform under a budget: generation observes
+// cancellation (and the datagen fault point) at batch boundaries. The
+// unguarded generators stay check-free so existing deterministic
+// workload builds are byte-for-byte unaffected.
+func UniformGuarded(rng *rand.Rand, name string, cfg UniformConfig, b *guard.Budget) (*relation.Relation, error) {
+	bld := relation.NewBuilder(name, "x", "y")
+	for i := 0; i < cfg.Rows; i++ {
+		if err := genCheck(i, b); err != nil {
+			return nil, err
+		}
+		vals := make([]value.Value, 2)
+		for j := range vals {
+			if cfg.NullFrac > 0 && rng.Float64() < cfg.NullFrac {
+				vals[j] = value.Null
+			} else {
+				vals[j] = value.NewInt(int64(rng.Intn(cfg.Domain)))
+			}
+		}
+		bld.Row(vals...)
+	}
+	return bld.Relation(), nil
+}
+
+// ChainGuarded is Chain under a budget. The rng consumption matches
+// Chain exactly, so an uncancelled guarded build produces the
+// identical database for the same seed.
+func ChainGuarded(n int, cfg UniformConfig, seed int64, b *guard.Budget) (plan.Database, error) {
+	rng := rand.New(rand.NewSource(seed))
+	db := make(plan.Database, n)
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("r%d", i)
+		rel, err := UniformGuarded(rng, name, cfg, b)
+		if err != nil {
+			return nil, err
+		}
+		db[name] = rel
+	}
+	return db, nil
+}
+
+// StarGuarded is Star under a budget, with Chain's determinism
+// contract.
+func StarGuarded(satellites int, cfg UniformConfig, seed int64, b *guard.Budget) (plan.Database, error) {
+	rng := rand.New(rand.NewSource(seed))
+	db := make(plan.Database, satellites+1)
+	r1, err := UniformGuarded(rng, "r1", cfg, b)
+	if err != nil {
+		return nil, err
+	}
+	db["r1"] = r1
+	for i := 0; i < satellites; i++ {
+		name := fmt.Sprintf("r%d", i+2)
+		rel, err := UniformGuarded(rng, name, cfg, b)
+		if err != nil {
+			return nil, err
+		}
+		db[name] = rel
+	}
+	return db, nil
+}
+
+// SupplierGuarded is Supplier under a budget: each of the three
+// relation-building loops checks the guard per batch.
+func SupplierGuarded(cfg SupplierConfig, b *guard.Budget) (plan.Database, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := make(plan.Database, 3)
+
+	sup := relation.NewBuilder("sup_detail", "supkey", "suprating", "supdetail")
+	bankrupt := int(float64(cfg.Suppliers) * cfg.BankruptFrac)
+	for s := 0; s < cfg.Suppliers; s++ {
+		if err := genCheck(s, b); err != nil {
+			return nil, err
+		}
+		rating := "OK"
+		if s < bankrupt {
+			rating = "BANKRUPT"
+		}
+		sup.Row(
+			value.NewInt(int64(s)),
+			value.NewString(rating),
+			value.NewString(fmt.Sprintf("supplier-%d", s)),
+		)
+	}
+	db["sup_detail"] = sup.Relation()
+
+	agg := relation.NewBuilder("agg94", "supkey", "partkey", "qty")
+	for i := 0; i < cfg.AggRows; i++ {
+		if err := genCheck(i, b); err != nil {
+			return nil, err
+		}
+		agg.Row(
+			value.NewInt(int64(rng.Intn(cfg.Suppliers))),
+			value.NewInt(int64(rng.Intn(cfg.Parts))),
+			value.NewInt(int64(1+rng.Intn(100))),
+		)
+	}
+	db["agg94"] = agg.Relation()
+
+	detail := relation.NewBuilder("detail95", "supkey", "partkey", "date", "qty")
+	for i := 0; i < cfg.DetailRows; i++ {
+		if err := genCheck(i, b); err != nil {
+			return nil, err
+		}
+		detail.Row(
+			value.NewInt(int64(rng.Intn(cfg.Suppliers))),
+			value.NewInt(int64(rng.Intn(cfg.Parts))),
+			value.NewInt(int64(19950101+rng.Intn(365))),
+			value.NewInt(int64(1+rng.Intn(10))),
+		)
+	}
+	db["detail95"] = detail.Relation()
+	return db, nil
+}

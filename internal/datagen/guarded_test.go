@@ -1,0 +1,72 @@
+package datagen
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/guard"
+)
+
+var guardedCfg = UniformConfig{Rows: 3000, Domain: 50, NullFrac: 0.1}
+
+// TestGuardedMatchesUnguarded: for the same seed, the guarded
+// generators must produce byte-identical databases — the guard checks
+// consume no randomness.
+func TestGuardedMatchesUnguarded(t *testing.T) {
+	b := guard.New(context.Background(), guard.Limits{}, nil)
+
+	chain, err := ChainGuarded(4, guardedCfg, 7, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rel := range Chain(4, guardedCfg, 7) {
+		if !chain[name].EqualAsMultisets(rel) {
+			t.Fatalf("ChainGuarded differs from Chain on %s", name)
+		}
+	}
+
+	star, err := StarGuarded(3, guardedCfg, 7, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rel := range Star(3, guardedCfg, 7) {
+		if !star[name].EqualAsMultisets(rel) {
+			t.Fatalf("StarGuarded differs from Star on %s", name)
+		}
+	}
+
+	sup, err := SupplierGuarded(DefaultSupplierConfig, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rel := range Supplier(DefaultSupplierConfig) {
+		if !sup[name].EqualAsMultisets(rel) {
+			t.Fatalf("SupplierGuarded differs from Supplier on %s", name)
+		}
+	}
+}
+
+// TestGuardedCancellation: a cancelled context aborts generation with
+// the typed cancellation error.
+func TestGuardedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := guard.New(ctx, guard.Limits{}, nil)
+	if _, err := ChainGuarded(4, guardedCfg, 7, b); !guard.IsCancelled(err) {
+		t.Fatalf("ChainGuarded err = %v, want guard.ErrCancelled", err)
+	}
+	if _, err := SupplierGuarded(DefaultSupplierConfig, b); !guard.IsCancelled(err) {
+		t.Fatalf("SupplierGuarded err = %v, want guard.ErrCancelled", err)
+	}
+}
+
+// TestGuardedFaultPoint: an injected fault at the datagen batch point
+// surfaces as the typed injected error.
+func TestGuardedFaultPoint(t *testing.T) {
+	defer guard.Clear()
+	guard.InjectError(guard.PointDatagenBatch)
+	b := guard.New(context.Background(), guard.Limits{}, nil)
+	if _, err := StarGuarded(3, guardedCfg, 7, b); !guard.IsInjected(err) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/expr"
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/relation"
@@ -20,39 +21,89 @@ import (
 	"repro/internal/value"
 )
 
+// execBatchRows is the join probe's guard granularity: cancellation,
+// fault points and row/byte charges are checked once per this many
+// probe-side tuples, so governance costs a modulus per tuple and the
+// response latency to a trip is bounded by one batch.
+const execBatchRows = 1024
+
 // Run executes the plan against db.
 func Run(n plan.Node, db plan.Database) (*relation.Relation, error) {
+	return run(n, db, nil)
+}
+
+// RunGuarded is Run under resource governance: the budget's
+// cancellation and row/byte limits are checked at per-operator and
+// per-batch boundaries (surfacing guard.ErrCancelled / ErrBudget),
+// and a panic anywhere in the execution converts to a
+// *guard.PanicError carrying the plan fingerprint instead of
+// unwinding into the caller.
+func RunGuarded(n plan.Node, db plan.Database, b *guard.Budget) (out *relation.Relation, err error) {
+	phase := "execute"
+	defer guard.RecoverAs(&err, &phase, plan.Key(n), nil)
+	return run(n, db, b)
+}
+
+// run is the guarded recursion shared by Run and RunGuarded. Each
+// operator checks the budget on entry (one pointer comparison when
+// unbudgeted); joins charge their output incrementally inside the
+// probe loops, every other materializing operator charges its full
+// output here once computed.
+func run(n plan.Node, db plan.Database, b *guard.Budget) (*relation.Relation, error) {
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	out, err := runNode(n, db, b)
+	if err != nil {
+		return nil, err
+	}
+	if err := guard.Hit(guard.PointExecOperator); err != nil {
+		return nil, err
+	}
+	switch n.(type) {
+	case *plan.Scan, *materialized, *plan.Join, *plan.MGOJNode:
+		// Base inputs are not intermediate state; joins have already
+		// charged per batch.
+	default:
+		if err := b.ChargeOut(out.Len(), out.Schema().Len()); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func runNode(n plan.Node, db plan.Database, b *guard.Budget) (*relation.Relation, error) {
 	switch m := n.(type) {
 	case *plan.Scan:
 		return m.Eval(db)
 	case *materialized:
 		return m.rel, nil
 	case *plan.Select:
-		in, err := Run(m.Input, db)
+		in, err := run(m.Input, db, b)
 		if err != nil {
 			return nil, err
 		}
 		return algebra.Select(m.Pred, in), nil
 	case *plan.Project:
-		in, err := Run(m.Input, db)
+		in, err := run(m.Input, db, b)
 		if err != nil {
 			return nil, err
 		}
 		return in.Project(m.Attrs, m.Distinct), nil
 	case *plan.GroupBy:
-		in, err := Run(m.Input, db)
+		in, err := run(m.Input, db, b)
 		if err != nil {
 			return nil, err
 		}
 		return algebra.GroupProject(m.Keys, m.Aggs, in), nil
 	case *plan.Sort:
-		in, err := Run(m.Input, db)
+		in, err := run(m.Input, db, b)
 		if err != nil {
 			return nil, err
 		}
 		return plan.SortRows(in, m.Keys, m.Limit)
 	case *plan.GenSel:
-		in, err := Run(m.Input, db)
+		in, err := run(m.Input, db, b)
 		if err != nil {
 			return nil, err
 		}
@@ -62,25 +113,25 @@ func Run(n plan.Node, db plan.Database) (*relation.Relation, error) {
 		}
 		return algebra.GenSelect(m.Pred, specs, in)
 	case *plan.Join:
-		l, err := Run(m.L, db)
+		l, err := run(m.L, db, b)
 		if err != nil {
 			return nil, err
 		}
-		r, err := Run(m.R, db)
+		r, err := run(m.R, db, b)
 		if err != nil {
 			return nil, err
 		}
-		return JoinExec(m.Kind, m.Pred, l, r)
+		return joinExecProbe(m.Kind, m.Pred, l, r, nil, b)
 	case *plan.MGOJNode:
-		l, err := Run(m.L, db)
+		l, err := run(m.L, db, b)
 		if err != nil {
 			return nil, err
 		}
-		r, err := Run(m.R, db)
+		r, err := run(m.R, db, b)
 		if err != nil {
 			return nil, err
 		}
-		return mgojExec(m, l, r)
+		return mgojExecProbe(m, l, r, nil, b)
 	default:
 		return nil, fmt.Errorf("executor: unsupported node %T", n)
 	}
@@ -196,10 +247,20 @@ func (st *joinProbe) flushArenas(arenas ...*tupleArena) {
 // predicate, using a hash join when an equality conjunct exists and a
 // nested loop otherwise.
 func JoinExec(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation) (*relation.Relation, error) {
-	return joinExecProbe(kind, pred, l, r, nil)
+	return joinExecProbe(kind, pred, l, r, nil, nil)
 }
 
-func joinExecProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, st *joinProbe) (*relation.Relation, error) {
+// chargeSince charges the growth of out since *charged against the
+// budget's row/byte limits and advances the cursor; the join probe
+// calls it at batch boundaries and once at the end, so output is
+// charged exactly once.
+func chargeSince(b *guard.Budget, out *relation.Relation, charged *int, width int) error {
+	d := out.Len() - *charged
+	*charged = out.Len()
+	return b.ChargeOut(d, width)
+}
+
+func joinExecProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, st *joinProbe, b *guard.Budget) (*relation.Relation, error) {
 	ls, rs := l.Schema(), r.Schema()
 	out := relation.New(ls.Concat(rs))
 	keys, residual := splitEqui(pred, ls, rs)
@@ -212,7 +273,7 @@ func joinExecProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, 
 		if st != nil {
 			st.NestedLoop = true
 		}
-		return nestedLoop(kind, pred, l, r, out, st), nil
+		return nestedLoop(kind, pred, l, r, out, st, b)
 	}
 	li := make([]int, len(keys))
 	ri := make([]int, len(keys))
@@ -235,7 +296,19 @@ func joinExecProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, 
 	scratch := make(relation.Tuple, nl+nr)
 	arena := newTupleArena(nl + nr)
 	collisions := 0
-	for _, lt := range l.Tuples() {
+	charged := 0
+	for i, lt := range l.Tuples() {
+		if i%execBatchRows == 0 {
+			if err := guard.Hit(guard.PointExecBatch); err != nil {
+				return nil, err
+			}
+			if err := b.Err(); err != nil {
+				return nil, err
+			}
+			if err := chargeSince(b, out, &charged, nl+nr); err != nil {
+				return nil, err
+			}
+		}
 		matched := false
 		if h, ok := fastKey(lt, li); ok {
 			for _, j := range build[h] {
@@ -273,6 +346,14 @@ func joinExecProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, 
 	}
 	if kind == plan.RightJoin || kind == plan.FullJoin {
 		for j, rt := range r.Tuples() {
+			if j%execBatchRows == 0 {
+				if err := b.Err(); err != nil {
+					return nil, err
+				}
+				if err := chargeSince(b, out, &charged, nl+nr); err != nil {
+					return nil, err
+				}
+			}
 			if rightMatched[j] {
 				continue
 			}
@@ -294,16 +375,31 @@ func joinExecProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, 
 		obs.Default().Counter("exec.hash.collisions").Add(int64(collisions))
 	}
 	st.flushArenas(arena)
+	if err := chargeSince(b, out, &charged, nl+nr); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
 // nestedLoop is the fallback join for non-equi predicates.
-func nestedLoop(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, out *relation.Relation, st *joinProbe) *relation.Relation {
+func nestedLoop(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, out *relation.Relation, st *joinProbe, b *guard.Budget) (*relation.Relation, error) {
 	nl, nr := l.Schema().Len(), r.Schema().Len()
 	env := expr.TupleEnv{Schema: out.Schema()}
 	scratch := make(relation.Tuple, nl+nr)
 	rightMatched := make([]bool, r.Len())
-	for _, lt := range l.Tuples() {
+	charged := 0
+	for i, lt := range l.Tuples() {
+		if i%execBatchRows == 0 {
+			if err := guard.Hit(guard.PointExecBatch); err != nil {
+				return nil, err
+			}
+			if err := b.Err(); err != nil {
+				return nil, err
+			}
+			if err := chargeSince(b, out, &charged, nl+nr); err != nil {
+				return nil, err
+			}
+		}
 		matched := false
 		copy(scratch, lt)
 		for j, rt := range r.Tuples() {
@@ -348,32 +444,40 @@ func nestedLoop(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, out
 			out.Append(row)
 		}
 	}
-	return out
+	if err := chargeSince(b, out, &charged, nl+nr); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // mgojExec executes MGOJ as a hash/nested-loop join followed by
 // preserved-projection padding, mirroring algebra.MGOJ.
 func mgojExec(m *plan.MGOJNode, l, r *relation.Relation) (*relation.Relation, error) {
-	return mgojExecProbe(m, l, r, nil)
+	return mgojExecProbe(m, l, r, nil, nil)
 }
 
-func mgojExecProbe(m *plan.MGOJNode, l, r *relation.Relation, st *joinProbe) (*relation.Relation, error) {
-	join, err := joinExecProbe(plan.InnerJoin, m.Pred, l, r, st)
+func mgojExecProbe(m *plan.MGOJNode, l, r *relation.Relation, st *joinProbe, b *guard.Budget) (*relation.Relation, error) {
+	join, err := joinExecProbe(plan.InnerJoin, m.Pred, l, r, st, b)
 	if err != nil {
 		return nil, err
 	}
-	return mgojCompensate(m, join, l, r, st)
+	return mgojCompensate(m, join, l, r, st, b)
 }
 
 // mgojCompensate appends MGOJ's preserved-projection padding to an
 // already-computed inner join of l and r; shared between the serial
-// and the partitioned MGOJ paths.
-func mgojCompensate(m *plan.MGOJNode, join, l, r *relation.Relation, st *joinProbe) (*relation.Relation, error) {
+// and the partitioned MGOJ paths. Only the padding rows are charged —
+// the join rows were charged as the probe emitted them.
+func mgojCompensate(m *plan.MGOJNode, join, l, r *relation.Relation, st *joinProbe, b *guard.Budget) (*relation.Relation, error) {
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
 	s := join.Schema()
 	out := relation.New(s)
 	for _, t := range join.Tuples() {
 		out.Append(t)
 	}
+	pads := 0
 	for _, spec := range m.Preserved {
 		attrs := s.AttrsOfRels(spec.Set())
 		if len(attrs) == 0 {
@@ -397,9 +501,13 @@ func mgojCompensate(m *plan.MGOJNode, join, l, r *relation.Relation, st *joinPro
 				if st != nil {
 					st.NullPadded++
 				}
+				pads++
 				out.Append(t)
 			}
 		}
+	}
+	if err := b.ChargeOut(pads, s.Len()); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

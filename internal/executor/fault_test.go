@@ -1,0 +1,209 @@
+// Fault-injection and leak suite for the guarded executor: injected
+// failures and panics at the operator, batch and partition points must
+// come back as typed guard errors, budget trips must abort with
+// ErrBudget, and a cancellation that lands mid-partitioned-join must
+// drain every worker goroutine. Runs under -race via make faults.
+package executor
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// faultDB builds two relations big enough that the grace-partitioned
+// join engages (combined size ≥ minPartitionRows).
+func faultDB(seed int64) plan.Database {
+	return bigDB(rand.New(rand.NewSource(seed)), 600, 23, "r1", "r2")
+}
+
+func faultJoin() plan.Node {
+	return plan.NewJoin(plan.InnerJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2"))
+}
+
+// execEntry is one guarded entry point of the executor, wrapped so the
+// matrix can drive RunGuarded, RunParallelGuarded and the partitioned
+// join uniformly.
+type execEntry struct {
+	name string
+	run  func(db plan.Database, b *guard.Budget) (*relation.Relation, error)
+}
+
+func execEntries() []execEntry {
+	return []execEntry{
+		{"serial", func(db plan.Database, b *guard.Budget) (*relation.Relation, error) {
+			return RunGuarded(faultJoin(), db, b)
+		}},
+		{"parallel", func(db plan.Database, b *guard.Budget) (*relation.Relation, error) {
+			return RunParallelGuarded(faultJoin(), db, 3, b)
+		}},
+		{"joinpar", func(db plan.Database, b *guard.Budget) (*relation.Relation, error) {
+			return JoinExecParallelGuarded(plan.InnerJoin, eqX("r1", "r2"), db["r1"], db["r2"], 3, b)
+		}},
+	}
+}
+
+// execFired records which guard points one clean run of the entry
+// crosses, so the injection matrix only arms points that actually fire
+// (a point that never fires would make the assertions vacuous).
+func execFired(t *testing.T, e execEntry, db plan.Database) []guard.Point {
+	t.Helper()
+	counts := map[guard.Point]*atomic.Int64{}
+	for _, p := range guard.Points() {
+		c := &atomic.Int64{}
+		counts[p] = c
+		guard.Inject(p, func(guard.Point) error { c.Add(1); return nil })
+	}
+	defer guard.Clear()
+	if _, err := e.run(db, guard.New(context.Background(), guard.Limits{}, nil)); err != nil {
+		t.Fatalf("recording run failed: %v", err)
+	}
+	var fired []guard.Point
+	for _, p := range guard.Points() {
+		if counts[p].Load() > 0 {
+			fired = append(fired, p)
+		}
+	}
+	if len(fired) == 0 {
+		t.Fatal("no guard points fired during a guarded execution")
+	}
+	return fired
+}
+
+// TestExecutorFaultMatrix: every point each entry crosses, armed to
+// error or panic, must abort the run with the matching typed error —
+// the executor never degrades, so a swallowed fault is a failure.
+func TestExecutorFaultMatrix(t *testing.T) {
+	defer guard.Clear()
+	db := faultDB(31)
+	for _, e := range execEntries() {
+		t.Run(e.name, func(t *testing.T) {
+			for _, p := range execFired(t, e, db) {
+				t.Run(string(p)+"/error", func(t *testing.T) {
+					guard.InjectError(p)
+					defer guard.Clear()
+					_, err := e.run(db, guard.New(context.Background(), guard.Limits{}, nil))
+					if !guard.IsInjected(err) {
+						t.Fatalf("err = %v, want injected fault", err)
+					}
+				})
+				t.Run(string(p)+"/panic", func(t *testing.T) {
+					guard.InjectPanic(p)
+					defer guard.Clear()
+					_, err := e.run(db, guard.New(context.Background(), guard.Limits{}, nil))
+					if !guard.IsPanic(err) {
+						t.Fatalf("err = %v, want *guard.PanicError", err)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestExecutorBudgetTrips: the rows and bytes caps abort every entry
+// point with a typed budget error.
+func TestExecutorBudgetTrips(t *testing.T) {
+	db := faultDB(32)
+	limits := []struct {
+		name string
+		l    guard.Limits
+	}{
+		{"rows", guard.Limits{MaxRows: 10}},
+		{"bytes", guard.Limits{MaxBytes: 256}},
+	}
+	for _, e := range execEntries() {
+		for _, lc := range limits {
+			t.Run(e.name+"/"+lc.name, func(t *testing.T) {
+				_, err := e.run(db, guard.New(context.Background(), lc.l, nil))
+				if !guard.IsBudget(err) {
+					t.Fatalf("err = %v, want guard.ErrBudget", err)
+				}
+			})
+		}
+	}
+}
+
+// TestExecutorCancellationDrainsWorkers: a cancellation that becomes
+// visible after the first partition is claimed must abort the
+// partitioned join with ErrCancelled and leave no worker goroutine
+// behind — eachPartition's workers re-check the budget before every
+// claim and the WaitGroup joins them all.
+func TestExecutorCancellationDrainsWorkers(t *testing.T) {
+	defer guard.Clear()
+	db := faultDB(33)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel from inside the first partition hit: the worker that fired
+	// it finishes its partition, then every later claim (P = 4 > 3
+	// workers guarantees one) sees the cancelled budget.
+	guard.Inject(guard.PointExecPartition, func(guard.Point) error {
+		cancel()
+		return nil
+	})
+	before := runtime.NumGoroutine()
+	_, err := JoinExecParallelGuarded(plan.InnerJoin, eqX("r1", "r2"), db["r1"], db["r2"], 3,
+		guard.New(ctx, guard.Limits{}, nil))
+	guard.Clear()
+	if !guard.IsCancelled(err) {
+		t.Fatalf("err = %v, want guard.ErrCancelled", err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestExecutorPanicLeavesNoWorkers: a panic injected into the
+// partition workers is contained per work item and the pool still
+// joins cleanly.
+func TestExecutorPanicLeavesNoWorkers(t *testing.T) {
+	defer guard.Clear()
+	db := faultDB(34)
+	guard.InjectPanic(guard.PointExecPartition)
+	before := runtime.NumGoroutine()
+	_, err := JoinExecParallelGuarded(plan.InnerJoin, eqX("r1", "r2"), db["r1"], db["r2"], 3,
+		guard.New(context.Background(), guard.Limits{}, nil))
+	guard.Clear()
+	if !guard.IsPanic(err) {
+		t.Fatalf("err = %v, want *guard.PanicError", err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestExecutorUntrippedBudgetDeterministic: a budget that never trips
+// must not change any entry point's output.
+func TestExecutorUntrippedBudgetDeterministic(t *testing.T) {
+	db := faultDB(35)
+	want, err := Run(faultJoin(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := guard.Limits{MaxRows: 1 << 40, MaxBytes: 1 << 50}
+	for _, e := range execEntries() {
+		t.Run(e.name, func(t *testing.T) {
+			got, err := e.run(db, guard.New(context.Background(), huge, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.EqualAsMultisets(want) {
+				t.Fatal("guarded output differs from unguarded Run")
+			}
+		})
+	}
+}

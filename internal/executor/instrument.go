@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/algebra"
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/relation"
@@ -19,18 +20,31 @@ import (
 // the JSON export) and reg's aggregate counters/histograms (nil means
 // obs.Default()).
 func RunInstrumented(n plan.Node, db plan.Database, reg *obs.Registry) (*relation.Relation, plan.Annotations, error) {
+	return RunInstrumentedGuarded(n, db, reg, nil)
+}
+
+// RunInstrumentedGuarded is RunInstrumented under resource
+// governance, with RunGuarded's budget and panic-containment
+// contract; EXPLAIN ANALYZE uses it so -timeout and row/byte caps
+// also bound instrumented executions.
+func RunInstrumentedGuarded(n plan.Node, db plan.Database, reg *obs.Registry, b *guard.Budget) (out *relation.Relation, ann plan.Annotations, err error) {
 	if reg == nil {
 		reg = obs.Default()
 	}
-	ann := plan.Annotations{}
-	out, err := runInstrumented(n, db, reg, ann)
+	phase := "execute"
+	defer guard.RecoverAs(&err, &phase, plan.Key(n), reg)
+	ann = plan.Annotations{}
+	out, err = runInstrumented(n, db, reg, ann, b)
 	if err != nil {
 		return nil, nil, err
 	}
 	return out, ann, nil
 }
 
-func runInstrumented(n plan.Node, db plan.Database, reg *obs.Registry, ann plan.Annotations) (*relation.Relation, error) {
+func runInstrumented(n plan.Node, db plan.Database, reg *obs.Registry, ann plan.Annotations, b *guard.Budget) (*relation.Relation, error) {
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	a := ann.For(n)
 	var out *relation.Relation
@@ -42,27 +56,27 @@ func runInstrumented(n plan.Node, db plan.Database, reg *obs.Registry, ann plan.
 		out = m.rel
 	case *plan.Select:
 		var in *relation.Relation
-		if in, err = runInstrumented(m.Input, db, reg, ann); err == nil {
+		if in, err = runInstrumented(m.Input, db, reg, ann, b); err == nil {
 			out = algebra.Select(m.Pred, in)
 		}
 	case *plan.Project:
 		var in *relation.Relation
-		if in, err = runInstrumented(m.Input, db, reg, ann); err == nil {
+		if in, err = runInstrumented(m.Input, db, reg, ann, b); err == nil {
 			out = in.Project(m.Attrs, m.Distinct)
 		}
 	case *plan.GroupBy:
 		var in *relation.Relation
-		if in, err = runInstrumented(m.Input, db, reg, ann); err == nil {
+		if in, err = runInstrumented(m.Input, db, reg, ann, b); err == nil {
 			out = algebra.GroupProject(m.Keys, m.Aggs, in)
 		}
 	case *plan.Sort:
 		var in *relation.Relation
-		if in, err = runInstrumented(m.Input, db, reg, ann); err == nil {
+		if in, err = runInstrumented(m.Input, db, reg, ann, b); err == nil {
 			out, err = plan.SortRows(in, m.Keys, m.Limit)
 		}
 	case *plan.GenSel:
 		var in *relation.Relation
-		if in, err = runInstrumented(m.Input, db, reg, ann); err == nil {
+		if in, err = runInstrumented(m.Input, db, reg, ann, b); err == nil {
 			specs := make([]map[string]bool, len(m.Preserved))
 			for i, s := range m.Preserved {
 				specs[i] = s.Set()
@@ -71,31 +85,43 @@ func runInstrumented(n plan.Node, db plan.Database, reg *obs.Registry, ann plan.
 		}
 	case *plan.Join:
 		var l, r *relation.Relation
-		if l, err = runInstrumented(m.L, db, reg, ann); err != nil {
+		if l, err = runInstrumented(m.L, db, reg, ann, b); err != nil {
 			break
 		}
-		if r, err = runInstrumented(m.R, db, reg, ann); err != nil {
+		if r, err = runInstrumented(m.R, db, reg, ann, b); err != nil {
 			break
 		}
 		st := &joinProbe{}
-		out, err = joinExecProbe(m.Kind, m.Pred, l, r, st)
+		out, err = joinExecProbe(m.Kind, m.Pred, l, r, st, b)
 		recordJoinProbe(a, st, reg)
 	case *plan.MGOJNode:
 		var l, r *relation.Relation
-		if l, err = runInstrumented(m.L, db, reg, ann); err != nil {
+		if l, err = runInstrumented(m.L, db, reg, ann, b); err != nil {
 			break
 		}
-		if r, err = runInstrumented(m.R, db, reg, ann); err != nil {
+		if r, err = runInstrumented(m.R, db, reg, ann, b); err != nil {
 			break
 		}
 		st := &joinProbe{}
-		out, err = mgojExecProbe(m, l, r, st)
+		out, err = mgojExecProbe(m, l, r, st, b)
 		recordJoinProbe(a, st, reg)
 	default:
 		err = fmt.Errorf("executor: unsupported node %T", n)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if err := guard.Hit(guard.PointExecOperator); err != nil {
+		return nil, err
+	}
+	switch n.(type) {
+	case *plan.Scan, *materialized, *plan.Join, *plan.MGOJNode:
+		// Same charging rule as run: base inputs are free, joins have
+		// charged per batch inside the probe.
+	default:
+		if err := b.ChargeOut(out.Len(), out.Schema().Len()); err != nil {
+			return nil, err
+		}
 	}
 	a.Rows = out.Len()
 	a.Elapsed = time.Since(start)

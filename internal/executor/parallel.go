@@ -2,10 +2,10 @@ package executor
 
 import (
 	"runtime"
-	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/expr"
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/relation"
@@ -22,37 +22,80 @@ func RunParallel(n plan.Node, db plan.Database, workers int) (*relation.Relation
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	return runParallel(n, db, workers, nil)
+}
+
+// RunParallelGuarded is RunParallel under resource governance, with
+// the same contract as RunGuarded: budget checks at operator, batch
+// and partition boundaries, and panic containment at this boundary
+// plus per-work-item containment inside the worker pools.
+func RunParallelGuarded(n plan.Node, db plan.Database, workers int, b *guard.Budget) (out *relation.Relation, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	phase := "execute"
+	defer guard.RecoverAs(&err, &phase, plan.Key(n), nil)
+	return runParallel(n, db, workers, b)
+}
+
+// runParallel mirrors run's guard protocol: budget check on operator
+// entry, a fault point as each operator completes, joins charged
+// inside the partitioned probe, every other materializing operator
+// charged on its full output here.
+func runParallel(n plan.Node, db plan.Database, workers int, b *guard.Budget) (*relation.Relation, error) {
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	finish := func(out *relation.Relation, charge bool) (*relation.Relation, error) {
+		if err := guard.Hit(guard.PointExecOperator); err != nil {
+			return nil, err
+		}
+		if charge {
+			if err := b.ChargeOut(out.Len(), out.Schema().Len()); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
 	switch m := n.(type) {
 	case *plan.Join:
-		l, err := RunParallel(m.L, db, workers)
+		l, err := runParallel(m.L, db, workers, b)
 		if err != nil {
 			return nil, err
 		}
-		r, err := RunParallel(m.R, db, workers)
+		r, err := runParallel(m.R, db, workers, b)
 		if err != nil {
 			return nil, err
 		}
-		return partitionedJoinProbe(m.Kind, m.Pred, l, r, workers, nil)
+		out, err := partitionedJoinProbe(m.Kind, m.Pred, l, r, workers, nil, b)
+		if err != nil {
+			return nil, err
+		}
+		return finish(out, false)
 	case *plan.MGOJNode:
-		l, err := RunParallel(m.L, db, workers)
+		l, err := runParallel(m.L, db, workers, b)
 		if err != nil {
 			return nil, err
 		}
-		r, err := RunParallel(m.R, db, workers)
+		r, err := runParallel(m.R, db, workers, b)
 		if err != nil {
 			return nil, err
 		}
 		obs.Default().Counter("exec.parallel.mgoj").Inc()
-		join, err := partitionedJoinProbe(plan.InnerJoin, m.Pred, l, r, workers, nil)
+		join, err := partitionedJoinProbe(plan.InnerJoin, m.Pred, l, r, workers, nil, b)
 		if err != nil {
 			return nil, err
 		}
 		// The preserved-projection compensation is a handful of
 		// hash-based distinct projections and set differences over the
 		// (usually small) padded remainder; it runs serially.
-		return mgojCompensate(m, join, l, r, nil)
+		out, err := mgojCompensate(m, join, l, r, nil, b)
+		if err != nil {
+			return nil, err
+		}
+		return finish(out, false)
 	case *plan.GenSel:
-		in, err := RunParallel(m.Input, db, workers)
+		in, err := runParallel(m.Input, db, workers, b)
 		if err != nil {
 			return nil, err
 		}
@@ -61,29 +104,42 @@ func RunParallel(n plan.Node, db plan.Database, workers int) (*relation.Relation
 		for i, s := range m.Preserved {
 			specs[i] = s.Set()
 		}
-		return algebra.GenSelectWith(parallelSelect(m.Pred, in, workers), specs, in)
-	case *plan.Select:
-		in, err := RunParallel(m.Input, db, workers)
+		sel, err := parallelSelect(m.Pred, in, workers)
 		if err != nil {
 			return nil, err
 		}
-		return parallelSelect(m.Pred, in, workers), nil
+		out, err := algebra.GenSelectWith(sel, specs, in)
+		if err != nil {
+			return nil, err
+		}
+		return finish(out, true)
+	case *plan.Select:
+		in, err := runParallel(m.Input, db, workers, b)
+		if err != nil {
+			return nil, err
+		}
+		out, err := parallelSelect(m.Pred, in, workers)
+		if err != nil {
+			return nil, err
+		}
+		return finish(out, true)
 	default:
 		// Unary set-level operators and scans: evaluate children in
-		// this mode, then apply the operator sequentially.
+		// this mode, then apply the operator sequentially (run applies
+		// the shared guard protocol to the sequential tail).
 		ch := n.Children()
 		if len(ch) == 0 {
-			return Run(n, db)
+			return run(n, db, b)
 		}
 		newCh := make([]plan.Node, len(ch))
 		for i, c := range ch {
-			out, err := RunParallel(c, db, workers)
+			out, err := runParallel(c, db, workers, b)
 			if err != nil {
 				return nil, err
 			}
 			newCh[i] = &materialized{rel: out}
 		}
-		return Run(n.WithChildren(newCh), db)
+		return run(n.WithChildren(newCh), db, b)
 	}
 }
 
@@ -105,44 +161,38 @@ func (m *materialized) Eval(plan.Database) (*relation.Relation, error) {
 }
 func (m *materialized) String() string { return "materialized" }
 
-// parallelSelect filters chunks of the input concurrently.
-func parallelSelect(p expr.Pred, in *relation.Relation, workers int) *relation.Relation {
+// parallelSelect filters chunks of the input concurrently. Chunk
+// workers run under eachChunk's panic containment, so a predicate
+// that panics on one tuple surfaces as an error instead of killing
+// the process from a pool goroutine.
+func parallelSelect(p expr.Pred, in *relation.Relation, workers int) (*relation.Relation, error) {
 	n := in.Len()
 	if n < 2*workers {
-		return seqSelect(p, in)
+		return seqSelect(p, in), nil
 	}
-	chunk := (n + workers - 1) / workers
 	outs := make([][]relation.Tuple, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, n)
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			env := expr.TupleEnv{Schema: in.Schema()}
-			var keep []relation.Tuple
-			for i := lo; i < hi; i++ {
-				t := in.Tuple(i)
-				env.Tuple = t
-				if p.Eval(env).Holds() {
-					keep = append(keep, t)
-				}
+	if err := eachChunk(workers, n, func(w, lo, hi int) error {
+		env := expr.TupleEnv{Schema: in.Schema()}
+		var keep []relation.Tuple
+		for i := lo; i < hi; i++ {
+			t := in.Tuple(i)
+			env.Tuple = t
+			if p.Eval(env).Holds() {
+				keep = append(keep, t)
 			}
-			outs[w] = keep
-		}(w, lo, hi)
+		}
+		outs[w] = keep
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	out := relation.New(in.Schema())
 	for _, part := range outs {
 		for _, t := range part {
 			out.Append(t)
 		}
 	}
-	return out
+	return out, nil
 }
 
 func seqSelect(p expr.Pred, in *relation.Relation) *relation.Relation {

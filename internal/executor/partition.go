@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/expr"
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/relation"
@@ -30,23 +31,35 @@ const minPartitionRows = 512
 // exec.partition.fallback.* counters — when no equi conjunct exists,
 // when only one worker is available, or when the inputs are small.
 func JoinExecParallel(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, workers int) (*relation.Relation, error) {
+	return JoinExecParallelGuarded(kind, pred, l, r, workers, nil)
+}
+
+// JoinExecParallelGuarded is JoinExecParallel under a budget:
+// cancellation and tripped limits are observed by every worker before
+// it claims its next partition, so an abort drains the pool at the
+// next partition boundary — the WaitGroup join guarantees no worker
+// goroutine outlives the call, and the per-partition outputs and
+// arenas of an aborted join are dropped wholesale.
+func JoinExecParallelGuarded(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, workers int, b *guard.Budget) (out *relation.Relation, err error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return partitionedJoinProbe(kind, pred, l, r, workers, nil)
+	phase := "execute"
+	defer guard.RecoverAs(&err, &phase, "", nil)
+	return partitionedJoinProbe(kind, pred, l, r, workers, nil, b)
 }
 
-func partitionedJoinProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, workers int, st *joinProbe) (*relation.Relation, error) {
+func partitionedJoinProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, workers int, st *joinProbe, b *guard.Budget) (*relation.Relation, error) {
 	ls, rs := l.Schema(), r.Schema()
 	keys, residual := splitEqui(pred, ls, rs)
 	reg := obs.Default()
 	if len(keys) == 0 {
 		reg.Counter("exec.partition.fallback.nonequi").Inc()
-		return joinExecProbe(kind, pred, l, r, st)
+		return joinExecProbe(kind, pred, l, r, st, b)
 	}
 	if workers <= 1 || l.Len()+r.Len() < minPartitionRows {
 		reg.Counter("exec.partition.fallback.small").Inc()
-		return joinExecProbe(kind, pred, l, r, st)
+		return joinExecProbe(kind, pred, l, r, st, b)
 	}
 	li := make([]int, len(keys))
 	ri := make([]int, len(keys))
@@ -61,23 +74,38 @@ func partitionedJoinProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Rel
 	// Phase 1: hash both sides and scatter tuple indices into
 	// partitions, chunk-parallel. NULL-key tuples match nothing and
 	// are set aside for padding.
-	lh, lok := hashSide(l, li, workers)
-	rh, rok := hashSide(r, ri, workers)
-	lparts, lnull := scatter(lh, lok, P, workers)
-	rparts, rnull := scatter(rh, rok, P, workers)
+	lh, lok, err := hashSide(l, li, workers)
+	if err != nil {
+		return nil, err
+	}
+	rh, rok, err := hashSide(r, ri, workers)
+	if err != nil {
+		return nil, err
+	}
+	lparts, lnull, err := scatter(lh, lok, P, workers)
+	if err != nil {
+		return nil, err
+	}
+	rparts, rnull, err := scatter(rh, rok, P, workers)
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase 2: build per-partition hash tables concurrently. The
 	// bucket payload is the position within the partition's index
 	// list, so the probe phase can mark per-partition match bitmaps
 	// without sharing state across partitions.
 	builds := make([]map[uint64][]int32, P)
-	eachPartition(workers, P, func(_, p int) {
-		b := make(map[uint64][]int32, len(rparts[p]))
+	if err := eachPartition(workers, P, b, func(_, p int) error {
+		m := make(map[uint64][]int32, len(rparts[p]))
 		for k, j := range rparts[p] {
-			b[rh[j]] = append(b[rh[j]], int32(k))
+			m[rh[j]] = append(m[rh[j]], int32(k))
 		}
-		builds[p] = b
-	})
+		builds[p] = m
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 
 	// Phase 3: probe concurrently. Each worker owns a tuple arena;
 	// each partition owns its output slice and right-match bitmap.
@@ -88,7 +116,7 @@ func partitionedJoinProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Rel
 	stats := make([]joinProbe, workers)
 	arenas := make([]*tupleArena, workers)
 	leftOuter := kind == plan.LeftJoin || kind == plan.FullJoin
-	eachPartition(workers, P, func(w, p int) {
+	if err := eachPartition(workers, P, b, func(w, p int) error {
 		if arenas[w] == nil {
 			arenas[w] = newTupleArena(nl + nr)
 		}
@@ -132,7 +160,12 @@ func partitionedJoinProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Rel
 		}
 		outs[p] = rows
 		rmatched[p] = my
-	})
+		// Charge the partition's output as it completes; a trip stops
+		// the remaining workers at their next partition claim.
+		return b.ChargeOut(len(rows), nl+nr)
+	}); err != nil {
+		return nil, err
+	}
 
 	// Phase 4: deterministic merge — partition outputs in partition
 	// order, then NULL-key left pads, then unmatched right pads.
@@ -147,6 +180,7 @@ func partitionedJoinProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Rel
 		merged.NullPadded += stats[w].NullPadded
 	}
 	pad := newTupleArena(nl + nr)
+	padStart := out.Len()
 	if leftOuter {
 		for _, i := range lnull {
 			row := pad.next()
@@ -184,6 +218,12 @@ func partitionedJoinProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Rel
 		}
 	}
 
+	if pads := out.Len() - padStart; pads > 0 {
+		if err := b.ChargeOut(pads, nl+nr); err != nil {
+			return nil, err
+		}
+	}
+
 	if st != nil {
 		st.BuildRows += countNonNull(rok)
 		st.ResidualEvals += merged.ResidualEvals
@@ -207,27 +247,28 @@ func partitionedJoinProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Rel
 
 // hashSide computes the join-key hash of every tuple, chunk-parallel;
 // ok[i] is false for NULL keys.
-func hashSide(rel *relation.Relation, idx []int, workers int) ([]uint64, []bool) {
+func hashSide(rel *relation.Relation, idx []int, workers int) ([]uint64, []bool, error) {
 	n := rel.Len()
 	hs := make([]uint64, n)
 	oks := make([]bool, n)
-	eachChunk(workers, n, func(_, lo, hi int) {
+	err := eachChunk(workers, n, func(_, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			hs[i], oks[i] = fastKey(rel.Tuple(i), idx)
 		}
+		return nil
 	})
-	return hs, oks
+	return hs, oks, err
 }
 
 // scatter distributes tuple indices into P hash partitions,
 // chunk-parallel with per-worker locals merged in worker order so
 // every partition's index list stays ascending (the determinism the
 // merge step relies on). NULL-key indices are returned separately.
-func scatter(hs []uint64, oks []bool, P, workers int) (parts [][]int32, nullKeys []int32) {
+func scatter(hs []uint64, oks []bool, P, workers int) (parts [][]int32, nullKeys []int32, err error) {
 	mask := uint64(P - 1)
 	locals := make([][][]int32, workers)
 	localNull := make([][]int32, workers)
-	eachChunk(workers, len(hs), func(w, lo, hi int) {
+	if err := eachChunk(workers, len(hs), func(w, lo, hi int) error {
 		lp := make([][]int32, P)
 		var ln []int32
 		for i := lo; i < hi; i++ {
@@ -240,7 +281,10 @@ func scatter(hs []uint64, oks []bool, P, workers int) (parts [][]int32, nullKeys
 		}
 		locals[w] = lp
 		localNull[w] = ln
-	})
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
 	parts = make([][]int32, P)
 	for p := 0; p < P; p++ {
 		for w := 0; w < workers; w++ {
@@ -252,16 +296,20 @@ func scatter(hs []uint64, oks []bool, P, workers int) (parts [][]int32, nullKeys
 	for w := 0; w < workers; w++ {
 		nullKeys = append(nullKeys, localNull[w]...)
 	}
-	return parts, nullKeys
+	return parts, nullKeys, nil
 }
 
 // eachChunk runs f over [0,n) split into at most `workers` contiguous
-// chunks, one goroutine each; chunk w covers ascending indices.
-func eachChunk(workers, n int, f func(w, lo, hi int)) {
+// chunks, one goroutine each; chunk w covers ascending indices. Each
+// chunk runs under Safely, so a panic in one worker surfaces as the
+// call's error instead of crashing the pool; the lowest-indexed
+// chunk's error wins, keeping failures deterministic.
+func eachChunk(workers, n int, f func(w, lo, hi int) error) error {
 	if n == 0 {
-		return
+		return nil
 	}
 	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -272,26 +320,62 @@ func eachChunk(workers, n int, f func(w, lo, hi int)) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			f(w, lo, hi)
+			errs[w] = guard.Safely("join.chunk", "", nil, func() error {
+				return f(w, lo, hi)
+			})
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 // eachPartition runs f(w, p) for every partition p, with worker w
-// owning partitions p ≡ w (mod workers).
-func eachPartition(workers, P int, f func(w, p int)) {
+// owning partitions p ≡ w (mod workers). Before claiming a partition
+// every worker re-checks the budget, so cancellation or a tripped
+// limit drains the pool at the next partition boundary; the WaitGroup
+// join means no worker goroutine outlives the call. Each item runs
+// under Safely (a panic becomes that partition's error), and the
+// lowest-indexed partition's error is the one reported, independent of
+// goroutine scheduling.
+func eachPartition(workers, P int, b *guard.Budget, f func(w, p int) error) error {
+	errs := make([]error, P)
 	var wg sync.WaitGroup
 	for w := 0; w < workers && w < P; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for p := w; p < P; p += workers {
-				f(w, p)
+				if err := b.Err(); err != nil {
+					errs[p] = err
+					return
+				}
+				// The fault point sits inside Safely: an injected panic
+				// on a pool goroutine must be contained here, not crash
+				// the process past the caller's boundary defer.
+				errs[p] = guard.Safely("join.partition", "", nil, func() error {
+					if err := guard.Hit(guard.PointExecPartition); err != nil {
+						return err
+					}
+					return f(w, p)
+				})
+				if errs[p] != nil {
+					return
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 func nextPow2(n int) int {

@@ -1,0 +1,44 @@
+package guard
+
+import (
+	"runtime/debug"
+
+	"repro/internal/obs"
+)
+
+// RecoverAs is the package-boundary panic container: deferred at the
+// top of optimizer.Optimize and executor.Run*, it converts a panic
+// into a *PanicError stored in *errp, carrying the phase the pipeline
+// was in (read through phase at recovery time, so the boundary
+// reports the innermost stage reached) and the fingerprint of the
+// plan being processed. Recovered panics bump guard.recovered_panics.
+//
+// Deliberate nil-map/nil-pointer crashes in worker goroutines are NOT
+// visible to a boundary defer — worker pools additionally wrap each
+// work item with Safely.
+func RecoverAs(errp *error, phase *string, planKey string, reg *obs.Registry) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	ph := ""
+	if phase != nil {
+		ph = *phase
+	}
+	reg.Counter("guard.recovered_panics").Inc()
+	*errp = &PanicError{Phase: ph, PlanKey: planKey, Value: r, Stack: debug.Stack()}
+}
+
+// Safely runs one work item with panic containment, for worker pools
+// whose goroutines a boundary defer cannot cover: a panic in f comes
+// back as a *PanicError tagged with the item's phase and plan
+// fingerprint. reg may be nil (obs.Default()).
+func Safely(phase, planKey string, reg *obs.Registry, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			reg.Counter("guard.recovered_panics").Inc()
+			err = &PanicError{Phase: phase, PlanKey: planKey, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return f()
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/guard"
 	"repro/internal/plan"
 )
 
@@ -52,29 +53,69 @@ func (o Options) workers() int {
 // applied — serially or across Options.Workers goroutines — and
 // results are merged back single-threaded in task order. The loop
 // reaches a fixpoint when a wave generates no bindings, or stops at
-// MaxExprs.
-func (m *Memo) Explore() {
+// MaxExprs or a tripped expression budget (both cap the memo rather
+// than erroring — extraction still covers everything admitted). A
+// non-nil error means the run was aborted: cancellation, an injected
+// fault, or a contained rule-application panic.
+func (m *Memo) Explore() error {
 	reg := m.obs()
+	b := m.opts.Budget
+	if !m.chargeInit {
+		m.chargeInit = true
+		m.charged = len(m.exprs) + m.jtCount
+	}
 	for !m.capped {
+		if err := b.Cancelled(); err != nil {
+			return err
+		}
+		if err := guard.Hit(guard.PointMemoWave); err != nil {
+			return err
+		}
 		tasks := m.collectTasks()
+		if m.chargeDelta() != nil {
+			m.markCapped(CappedBudget)
+			return nil
+		}
 		if len(tasks) == 0 {
 			break
 		}
 		if reg != nil {
 			reg.Counter("memo.waves").Inc()
 		}
-		results := m.apply(tasks)
+		results, err := m.apply(tasks)
+		if err != nil {
+			return err
+		}
 		for i, t := range tasks {
 			g := m.groups[t.group]
 			for _, alt := range results[i] {
 				m.addResult(g, alt.node, alt.rule, t.from)
+				if m.chargeDelta() != nil {
+					m.markCapped(CappedBudget)
+					return nil
+				}
 				if len(m.exprs)+m.jtCount >= m.opts.MaxExprs {
-					m.markCapped()
-					return
+					m.markCapped(CappedMaxExprs)
+					return nil
 				}
 			}
 		}
 	}
+	return nil
+}
+
+// chargeDelta charges the memo's growth since the last check against
+// the expression budget. addResult admissions pull whole subtrees in
+// through Add, so the charge is the observed total delta rather than
+// one per call.
+func (m *Memo) chargeDelta() error {
+	total := len(m.exprs) + m.jtCount
+	d := total - m.charged
+	if d <= 0 {
+		return nil
+	}
+	m.charged = total
+	return m.opts.Budget.ChargeExprs(int64(d))
 }
 
 // collectTasks advances every expression's binding cursors and
@@ -198,16 +239,18 @@ func (m *Memo) jtAdd(g *group, t plan.Node, from exprID) {
 	g.joinTrees = append(g.joinTrees, jtEntry{tree: t, from: from})
 	m.jtCount++
 	if len(m.exprs)+m.jtCount >= m.opts.MaxExprs {
-		m.markCapped()
+		m.markCapped(CappedMaxExprs)
 	}
 }
 
-// markCapped flags the budget stop once, bumping memo.capped.
-func (m *Memo) markCapped() {
+// markCapped flags the early stop once, recording why and bumping
+// memo.capped.
+func (m *Memo) markCapped(reason string) {
 	if m.capped {
 		return
 	}
 	m.capped = true
+	m.cappedBy = reason
 	if reg := m.obs(); reg != nil {
 		reg.Counter("memo.capped").Inc()
 	}
@@ -218,38 +261,47 @@ func (m *Memo) markCapped() {
 // memo state, so results land in per-task slots and the caller's
 // in-order merge is deterministic. Fingerprints of result trees are
 // forced inside the workers so the serial merge finds them cached.
-func (m *Memo) apply(tasks []task) [][]altResult {
+// Each task runs under guard.Safely (a boundary defer cannot see a
+// worker goroutine's panic); the lowest-index failure wins, so the
+// surfaced error is the same for any scheduling.
+func (m *Memo) apply(tasks []task) ([][]altResult, error) {
 	results := make([][]altResult, len(tasks))
+	errs := make([]error, len(tasks))
 	workers := m.opts.workers()
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
 	if workers <= 1 {
 		for i, t := range tasks {
-			results[i] = m.applyOne(t)
+			results[i], errs[i] = m.applyOne(t)
 		}
-		return results
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(tasks) {
-					return
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(tasks) {
+						return
+					}
+					results[i], errs[i] = m.applyOne(tasks[i])
 				}
-				results[i] = m.applyOne(tasks[i])
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
-	return results
+	for _, e := range errs {
+		if e != nil {
+			return results, e
+		}
+	}
+	return results, nil
 }
 
-func (m *Memo) applyOne(t task) []altResult {
+func (m *Memo) applyOne(t task) ([]altResult, error) {
 	var rules = m.chldRules
 	switch t.kind {
 	case nodeKind:
@@ -259,14 +311,20 @@ func (m *Memo) applyOne(t task) []altResult {
 	}
 	reg := m.obs()
 	var out []altResult
-	for _, r := range rules {
-		for _, alt := range r.Apply(t.binding) {
-			plan.Key(alt) // warm the fingerprint cache while parallel
-			if reg != nil {
-				reg.Counter("optimizer.rule_applied." + r.Name).Inc()
-			}
-			out = append(out, altResult{node: alt, rule: r.Name})
+	err := guard.Safely("explore", plan.Key(t.binding), reg, func() error {
+		if e := guard.Hit(guard.PointRuleApply); e != nil {
+			return e
 		}
-	}
-	return out
+		for _, r := range rules {
+			for _, alt := range r.Apply(t.binding) {
+				plan.Key(alt) // warm the fingerprint cache while parallel
+				if reg != nil {
+					reg.Counter("optimizer.rule_applied." + r.Name).Inc()
+				}
+				out = append(out, altResult{node: alt, rule: r.Name})
+			}
+		}
+		return nil
+	})
+	return out, err
 }

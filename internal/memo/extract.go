@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/plan"
 )
 
@@ -79,6 +80,15 @@ func (m *Memo) Winner(gid GroupID) (plan.Node, float64, bool) {
 func (m *Memo) extractGroup(g *group, c Coster, onPath []bool) error {
 	if g.extracted {
 		return nil
+	}
+	// Group entry is extraction's deterministic guard point: groups
+	// are visited in the same order for any configuration, so a
+	// cancellation or injected fault aborts at the same group.
+	if err := m.opts.Budget.Cancelled(); err != nil {
+		return err
+	}
+	if err := guard.Hit(guard.PointMemoExtract); err != nil {
+		return err
 	}
 	onPath[g.id] = true
 	defer func() { onPath[g.id] = false }()

@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/plan"
 )
@@ -127,6 +128,14 @@ type Options struct {
 	// optimizer.rule_applied.<rule> / optimizer.rule_admitted.<rule>
 	// counters. Extraction adds memo.pruned and memo.extract_ns.
 	Obs *obs.Registry
+	// Budget, when non-nil, governs exploration and extraction:
+	// cancellation is checked at wave boundaries and per extracted
+	// group (surfacing guard.ErrCancelled), and expression/join-tree
+	// admissions past the seeds are charged against the expression
+	// budget — tripping it caps the memo (CappedReason reports
+	// CappedBudget) exactly like MaxExprs, so extraction still runs
+	// over everything admitted.
+	Budget *guard.Budget
 }
 
 // Memo is the group table.
@@ -142,6 +151,14 @@ type Memo struct {
 	byExprKey map[string]GroupID // expression fingerprint -> first owner
 	jtCount   int                // join-tree materializations, for the MaxExprs budget
 	capped    bool
+	cappedBy  string
+
+	// Budget charging state: seeds ingested before the first Explore
+	// wave are free (extraction must always have a materializable
+	// plan), so the baseline is snapshotted when exploration starts
+	// and only growth past it is charged.
+	chargeInit bool
+	charged    int
 }
 
 // Supports reports whether every rule declares a group-local scope,
@@ -191,8 +208,21 @@ func (m *Memo) Groups() int { return len(m.groups) }
 // Exprs returns the total number of admitted expressions.
 func (m *Memo) Exprs() int { return len(m.exprs) }
 
-// Capped reports whether exploration stopped at MaxExprs.
+// Cap reasons reported by CappedReason.
+const (
+	// CappedMaxExprs: exploration stopped at Options.MaxExprs.
+	CappedMaxExprs = "max-exprs"
+	// CappedBudget: the guard expression budget tripped.
+	CappedBudget = "budget:exprs"
+)
+
+// Capped reports whether exploration stopped early (MaxExprs or a
+// tripped expression budget).
 func (m *Memo) Capped() bool { return m.capped }
+
+// CappedReason reports why exploration stopped early ("" when it ran
+// to fixpoint).
+func (m *Memo) CappedReason() string { return m.cappedBy }
 
 // RuleFirings counts, per rule, the expressions it admitted.
 func (m *Memo) RuleFirings() map[string]int {

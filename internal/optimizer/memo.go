@@ -42,6 +42,7 @@ func (o *Optimizer) optimizeMemo(q plan.Node, rules []core.Rule, maxPlans int, r
 		MaxExprs: maxPlans,
 		Workers:  o.Opts.Workers,
 		Obs:      reg,
+		Budget:   o.Opts.Budget,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("optimizer: %w", err)
@@ -60,18 +61,42 @@ func (o *Optimizer) optimizeMemo(q plan.Node, rules []core.Rule, maxPlans int, r
 			prefixes = append(prefixes, sd.prefix)
 		}
 	}
-	m.Explore()
+	if err := m.Explore(); err != nil {
+		return nil, err
+	}
 	endExplore()
 	reg.Counter("optimizer.plans_enumerated").Add(int64(m.Exprs()))
 	reg.Gauge("optimizer.last_considered").Set(int64(m.Exprs()))
+	degraded := ""
+	if m.CappedReason() == memo.CappedBudget {
+		degraded = memo.CappedBudget
+		reg.Counter("guard.degraded").Inc()
+	}
 
 	endCost := phase("cost")
 	sess := o.Est.NewSession(reg)
+	sess.SetBudget(o.Opts.Budget)
+	// Extraction over a budget-capped memo still yields the cheapest
+	// plan among everything admitted (seeds are never charged, so a
+	// materializable plan always exists): degradation returns the
+	// best-so-far rather than an error.
 	best, err := m.Extract(roots, sess)
 	if err != nil {
 		return nil, fmt.Errorf("optimizer: extracting %s: %w", q, err)
 	}
-	bestRows, err := sess.Rows(best.Plan)
+	bestPlan, bestCost := best.Plan, best.Cost
+	derivation := append(append([]string(nil), prefixes[best.Root]...), m.Derivation(best.Group)...)
+	if degraded != "" {
+		// A truncated memo may hold only expensive orders; offer the
+		// greedy left-deep fallback and keep whichever is cheaper.
+		if hp, ok := heuristicLeftDeep(q, sess); ok {
+			if hc, herr := sess.PlanCost(hp); herr == nil && hc < bestCost {
+				bestPlan, bestCost = hp, hc
+				derivation = []string{HeuristicRule}
+			}
+		}
+	}
+	bestRows, err := sess.Rows(bestPlan)
 	if err != nil {
 		return nil, err
 	}
@@ -86,8 +111,7 @@ func (o *Optimizer) optimizeMemo(q plan.Node, rules []core.Rule, maxPlans int, r
 	endCost()
 	reg.Counter("optimizer.plans_costed").Inc()
 
-	derivation := append(append([]string(nil), prefixes[best.Root]...), m.Derivation(best.Group)...)
-	bestRanked := Ranked{Plan: best.Plan, Cost: best.Cost, Rows: bestRows, Derivation: derivation}
+	bestRanked := Ranked{Plan: bestPlan, Cost: bestCost, Rows: bestRows, Derivation: derivation}
 	res := &Result{
 		Best:        bestRanked,
 		Original:    Ranked{Plan: q, Cost: origCost, Rows: origRows},
@@ -95,6 +119,7 @@ func (o *Optimizer) optimizeMemo(q plan.Node, rules []core.Rule, maxPlans int, r
 		Plans:       []Ranked{bestRanked},
 		RuleFirings: m.RuleFirings(),
 		Phases:      *phases,
+		Degraded:    degraded,
 	}
 	return res, nil
 }

@@ -146,6 +146,9 @@ func TestMemoMatchesSaturate(t *testing.T) {
 			if mem.Original.Cost != sat.Original.Cost {
 				t.Errorf("original cost differs: memo %.6f, saturate %.6f", mem.Original.Cost, sat.Original.Cost)
 			}
+			if verr := plan.Validate(mem.Best.Plan, db); verr != nil {
+				t.Fatalf("memo best plan fails validation: %v\n%s", verr, plan.Indent(mem.Best.Plan))
+			}
 			ok, err := plan.Equivalent(tc.q, mem.Best.Plan, db)
 			if err != nil {
 				t.Fatal(err)

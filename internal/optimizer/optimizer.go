@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/memo"
 	"repro/internal/obs"
 	"repro/internal/plan"
@@ -47,6 +48,13 @@ type Options struct {
 	// Tracer, when non-nil, collects a span tree of the optimization
 	// phases (simplify, saturate, cost, rank) for -trace output.
 	Tracer *obs.Tracer
+	// Budget, when non-nil, governs the run: cancellation (checked at
+	// wave boundaries and inside the cost phase) aborts with
+	// guard.ErrCancelled, while a tripped expression budget degrades
+	// gracefully — Optimize returns the best plan found so far, or
+	// the heuristic left-deep order when that is cheaper, with
+	// Result.Degraded naming the reason.
+	Budget *guard.Budget
 	// UseMemo selects the enumeration engine. The default, MemoAuto,
 	// explores through the internal/memo group table — equivalence
 	// groups with branch-and-bound extraction — whenever every rule
@@ -100,6 +108,11 @@ type Result struct {
 	// into the equivalence class (each plan credits the final rule of
 	// its derivation).
 	RuleFirings map[string]int
+	// Degraded is non-empty when resource governance stopped
+	// enumeration early ("budget:exprs"): Best is the cheapest plan
+	// found before the stop — possibly the greedy left-deep fallback
+	// — rather than the optimum over the full equivalence class.
+	Degraded string
 }
 
 // Optimizer ranks the equivalence class of a query by estimated cost.
@@ -124,16 +137,26 @@ func NewBaseline(est *stats.Estimator) *Optimizer {
 // Optimize enumerates the equivalence class of q and returns the
 // cheapest plan. The database is needed only for schema resolution of
 // aggregation push-up seeds; pass nil when PushUpAggregates is off.
-func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (*Result, error) {
+//
+// Under a budget (Options.Budget) the run is interruptible and
+// bounded: cancellation and contained panics surface as typed guard
+// errors, and an exhausted expression budget degrades to the best
+// plan found so far (Result.Degraded). The package boundary converts
+// any internal panic into a *guard.PanicError carrying the phase
+// reached and the query fingerprint.
+func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (res *Result, err error) {
 	reg := o.Opts.Obs
 	if reg == nil {
 		reg = obs.Default()
 	}
+	curPhase := "init"
+	defer guard.RecoverAs(&err, &curPhase, plan.Key(q), reg)
 	reg.Counter("optimizer.runs").Inc()
 	root := o.Opts.Tracer.Start("optimize")
 	defer root.End()
 	var phases []PhaseTiming
 	phase := func(name string) func() {
+		curPhase = name
 		sp := root.Child(name)
 		start := time.Now()
 		return func() {
@@ -158,6 +181,13 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (*Result, error) {
 		// to the aggregation before the pull-up applies).
 		rules = append(append([]core.Rule(nil), rules...), core.PushUpRule(db))
 	}
+	b := o.Opts.Budget
+	if err := b.Cancelled(); err != nil {
+		return nil, err
+	}
+	if err := guard.Hit(guard.PointSimplify); err != nil {
+		return nil, err
+	}
 	if o.Opts.UseMemo == MemoAuto {
 		if ok, _ := memo.Supports(rules); ok {
 			return o.optimizeMemo(q, rules, maxPlans, reg, phase, &phases)
@@ -181,14 +211,22 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (*Result, error) {
 	seen := make(map[string]bool)
 	var all []plan.Node
 	var chains [][]string
+	var degraded string
 	firings := make(map[string]int)
 	for _, sd := range seeds {
-		plans, trace := core.SaturateTraced(sd.node, core.SaturateOptions{
+		plans, trace, stopped, serr := core.SaturateGuarded(sd.node, core.SaturateOptions{
 			Rules:    rules,
 			MaxPlans: maxPlans - len(all),
 			Workers:  o.Opts.Workers,
+			Budget:   b,
 			Obs:      reg,
 		})
+		if serr != nil {
+			return nil, serr
+		}
+		if stopped != "" {
+			degraded = stopped
+		}
 		for _, p := range plans {
 			key := plan.Key(p)
 			if !seen[key] {
@@ -201,7 +239,7 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (*Result, error) {
 				}
 			}
 		}
-		if len(all) >= maxPlans {
+		if len(all) >= maxPlans || degraded != "" {
 			break
 		}
 	}
@@ -211,15 +249,30 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (*Result, error) {
 	if len(all) == 0 {
 		return nil, fmt.Errorf("optimizer: no plans enumerated for %s", q)
 	}
+	sess := o.Est.NewSession(reg)
+	sess.SetBudget(b)
+	if degraded != "" {
+		reg.Counter("guard.degraded").Inc()
+		// The greedy left-deep order joins the truncated closure as
+		// one more candidate: the normal ranking picks it exactly when
+		// it beats everything enumerated before the budget tripped.
+		if hp, ok := heuristicLeftDeep(q, sess); ok {
+			if key := plan.Key(hp); !seen[key] {
+				seen[key] = true
+				all = append(all, hp)
+				chains = append(chains, []string{HeuristicRule})
+			}
+		}
+	}
 	endCost := phase("cost")
-	ranked, err := o.costAll(all, chains, reg)
+	ranked, err := o.costAll(sess, all, chains, reg)
 	if err != nil {
 		return nil, err
 	}
 	endCost()
 	reg.Counter("optimizer.plans_costed").Add(int64(len(ranked)))
 	endRank := phase("rank")
-	res := &Result{Considered: len(ranked), Original: ranked[0], RuleFirings: firings}
+	res = &Result{Considered: len(ranked), Original: ranked[0], RuleFirings: firings, Degraded: degraded}
 	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Cost < ranked[j].Cost })
 	res.Plans = ranked
 	res.Best = ranked[0]
@@ -235,21 +288,26 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (*Result, error) {
 // goroutines; results land in their plan's slot, so the ranking input
 // is index-deterministic and the sort (stable) agrees with the serial
 // run. On error the first failing index wins, matching the serial
-// loop's first-error semantics.
-func (o *Optimizer) costAll(all []plan.Node, chains [][]string, reg *obs.Registry) ([]Ranked, error) {
-	sess := o.Est.NewSession(reg)
+// loop's first-error semantics; each item runs under guard.Safely so
+// a costing panic in a worker goroutine surfaces as a typed error.
+func (o *Optimizer) costAll(sess *stats.Session, all []plan.Node, chains [][]string, reg *obs.Registry) ([]Ranked, error) {
 	ranked := make([]Ranked, len(all))
 	costOne := func(i int) error {
-		cost, err := sess.PlanCost(all[i])
-		if err != nil {
-			return fmt.Errorf("optimizer: costing %s: %w", all[i], err)
-		}
-		rows, err := sess.Rows(all[i])
-		if err != nil {
-			return err
-		}
-		ranked[i] = Ranked{Plan: all[i], Cost: cost, Rows: rows, Derivation: chains[i]}
-		return nil
+		return guard.Safely("cost", plan.Key(all[i]), reg, func() error {
+			if e := guard.Hit(guard.PointCost); e != nil {
+				return e
+			}
+			cost, err := sess.PlanCost(all[i])
+			if err != nil {
+				return fmt.Errorf("optimizer: costing %s: %w", all[i], err)
+			}
+			rows, err := sess.Rows(all[i])
+			if err != nil {
+				return err
+			}
+			ranked[i] = Ranked{Plan: all[i], Cost: cost, Rows: rows, Derivation: chains[i]}
+			return nil
+		})
 	}
 	workers := o.Opts.Workers
 	if workers < 0 {
@@ -295,6 +353,9 @@ func (o *Optimizer) costAll(all []plan.Node, chains [][]string, reg *obs.Registr
 // and how it compares with the query as written.
 func Explain(res *Result) string {
 	out := fmt.Sprintf("plans considered: %d\n", res.Considered)
+	if res.Degraded != "" {
+		out += fmt.Sprintf("degraded:        %s (best-effort plan, not the full-class optimum)\n", res.Degraded)
+	}
 	out += fmt.Sprintf("original cost:   %.1f (est. %.0f rows)\n", res.Original.Cost, res.Original.Rows)
 	out += fmt.Sprintf("best cost:       %.1f (est. %.0f rows)\n", res.Best.Cost, res.Best.Rows)
 	if res.Original.Cost > 0 {

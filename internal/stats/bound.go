@@ -16,6 +16,9 @@ import "repro/internal/plan"
 // next one — the usual pattern during memo extraction, where sibling
 // candidates share most subtrees.
 func (s *Session) PlanCostBound(n plan.Node, bound float64) (float64, bool, error) {
+	if err := s.budget.Cancelled(); err != nil {
+		return 0, false, err
+	}
 	var full func(n plan.Node) (float64, float64, error)
 	full = func(n plan.Node) (float64, float64, error) {
 		memoize := len(n.Children()) > 0

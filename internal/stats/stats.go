@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/expr"
+	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/schema"
@@ -449,9 +450,10 @@ type memoEntry struct {
 // A session must not outlive its catalog: keys are plan fingerprints,
 // so estimates for a re-ANALYZEd database need a fresh session.
 type Session struct {
-	e    *Estimator
-	rows sync.Map // plan key -> float64
-	cost sync.Map // plan key -> memoEntry
+	e      *Estimator
+	rows   sync.Map // plan key -> float64
+	cost   sync.Map // plan key -> memoEntry
+	budget *guard.Budget
 
 	rowsHits, rowsMiss, costHits, costMiss *obs.Counter
 }
@@ -469,11 +471,28 @@ func (e *Estimator) NewSession(reg *obs.Registry) *Session {
 	}
 }
 
+// SetBudget attaches a guard budget to the session: every exported
+// estimation entry point checks cancellation before descending, so a
+// long costing or extraction phase sharing the session across workers
+// stays interruptible. A nil budget (the default) adds one pointer
+// comparison per call.
+func (s *Session) SetBudget(b *guard.Budget) { s.budget = b }
+
 // Rows is Estimator.Rows through the session's memo.
-func (s *Session) Rows(n plan.Node) (float64, error) { return s.e.rows(n, s) }
+func (s *Session) Rows(n plan.Node) (float64, error) {
+	if err := s.budget.Cancelled(); err != nil {
+		return 0, err
+	}
+	return s.e.rows(n, s)
+}
 
 // PlanCost is Estimator.PlanCost through the session's memo.
-func (s *Session) PlanCost(n plan.Node) (float64, error) { return s.e.planCost(n, s) }
+func (s *Session) PlanCost(n plan.Node) (float64, error) {
+	if err := s.budget.Cancelled(); err != nil {
+		return 0, err
+	}
+	return s.e.planCost(n, s)
+}
 
 // Estimator returns the underlying estimator (catalog and cost
 // model).

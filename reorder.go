@@ -29,6 +29,7 @@
 package reorder
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/assoctree"
 	"repro/internal/core"
 	"repro/internal/executor"
+	"repro/internal/guard"
 	"repro/internal/hypergraph"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
@@ -85,6 +87,39 @@ func Optimize(q Node, db Database) (*Result, error) {
 func OptimizeBaseline(q Node, db Database) (*Result, error) {
 	est := stats.NewEstimator(stats.FromDatabase(db))
 	return optimizer.NewBaseline(est).Optimize(q, db)
+}
+
+// Limits caps an optimization or execution: MaxExprs bounds the
+// number of plan expressions the enumerator may admit (tripping it
+// degrades gracefully to the best plan found, see Result.Degraded),
+// MaxRows and MaxBytes bound the intermediate rows an execution may
+// materialize (tripping them aborts with a guard.ErrBudget error).
+// The zero value is unlimited.
+type Limits = guard.Limits
+
+// ErrCancelled is returned (wrapped) by the budgeted entry points
+// when ctx is cancelled or its deadline expires. Test with
+// guard.IsCancelled or errors.Is.
+var ErrCancelled = guard.ErrCancelled
+
+// OptimizeBudget is Optimize under resource governance: ctx
+// cancellation and deadline are observed at the optimizer's wave
+// boundaries (returning ErrCancelled), and tripping l.MaxExprs
+// degrades to a best-effort plan tagged in Result.Degraded instead of
+// enumerating the full class.
+func OptimizeBudget(ctx context.Context, q Node, db Database, l Limits) (*Result, error) {
+	est := stats.NewEstimator(stats.FromDatabase(db))
+	o := optimizer.New(est)
+	o.Opts.Budget = guard.New(ctx, l, nil)
+	return o.Optimize(q, db)
+}
+
+// ExecuteBudget is Execute under resource governance: cancellation
+// and the MaxRows/MaxBytes intermediate-result limits are checked at
+// operator and batch boundaries, and panics inside the executor come
+// back as *guard.PanicError instead of unwinding.
+func ExecuteBudget(ctx context.Context, q Node, db Database, l Limits) (*Relation, error) {
+	return executor.RunGuarded(q, db, guard.New(ctx, l, nil))
 }
 
 // OptimizeSQL is Parse followed by Optimize.
