@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: all build vet test race race-par race-exec faults smoke bench bench-all check clean
+.PHONY: all build vet test race race-par race-exec faults smoke obs bench bench-all check clean
 
 all: vet build test
 
 # The full pre-merge gauntlet: static checks, build, the tier-1 test
-# suite, the fault-injection suite under the race detector, and both
-# benchmark regression gates.
-check: vet build test faults bench
+# suite, the fault-injection suite under the race detector, the
+# observability smoke, and both benchmark regression gates.
+check: vet build test faults obs bench
 
 build:
 	$(GO) build ./...
@@ -29,8 +29,8 @@ race:
 # session, and the memo engine's saturation-equality and
 # worker-determinism property suite.
 race-par:
-	$(GO) test -race -run 'TestParallelSaturation|TestSaturateWorkers|TestFingerprintConcurrent|TestSessionConcurrent|TestOptimizeWorkers|TestMemo' \
-		./internal/core/ ./internal/plan/ ./internal/stats/ ./internal/optimizer/
+	$(GO) test -race -run 'TestParallelSaturation|TestSaturateWorkers|TestFingerprintConcurrent|TestSessionConcurrent|TestOptimizeWorkers|TestMemo|TestHandlerConcurrentScrape|TestRecorderConcurrent|TestObserverScrapeWhileExecuting' \
+		./internal/core/ ./internal/plan/ ./internal/stats/ ./internal/optimizer/ ./internal/obs/ ./internal/obs/flight/ .
 
 # Focused race run for the partitioned executor: the grace-partitioned
 # join equivalence/determinism suite and the forced-collision tests.
@@ -51,6 +51,16 @@ faults:
 # Quick observability smoke: the concurrent registry/tracer tests.
 smoke:
 	$(GO) test -run TestObs -race ./internal/obs/...
+
+# Observability v2 smoke under the race detector: the full obs and
+# flight-recorder suites (exposition writer + strict parser, label
+# vectors, diff/merge, handler, ring bounds), the root observer
+# (flight records, q-error accounting, scrape-while-executing) and
+# the cmd/reorder -metrics-addr endpoint test.
+obs:
+	$(GO) test -race ./internal/obs/...
+	$(GO) test -race -run 'TestExplainAnalyzeObserved|TestObserver|TestAnalyzeJSONQuantilesAndSpans' .
+	$(GO) test -race -run 'TestRunMetricsAddr' ./cmd/reorder/
 
 # Benchmark gates: benchopt measures saturation (serial vs parallel),
 # the memo engine vs saturation end-to-end, and the cost memo, writes

@@ -42,6 +42,9 @@ type report struct {
 	SpeedupHashAgg float64 `json:"speedupHashAgg"`
 	// SpeedupDistinct is seed DistinctProject ms / current ms.
 	SpeedupDistinct float64 `json:"speedupDistinct"`
+	// CounterDeltas maps workload name → the default-registry counter
+	// movement (obs.Snapshot.Diff) across that workload's measurement.
+	CounterDeltas map[string]map[string]int64 `json:"counterDeltas,omitempty"`
 }
 
 // Seed numbers measured at the pre-change commit on this container
@@ -88,10 +91,18 @@ func main() {
 
 	fmt.Printf("benchexec: GOMAXPROCS=%d %s\n", runtime.GOMAXPROCS(0), runtime.Version())
 	var results []benchgate.Result
+	deltas := map[string]map[string]int64{}
+	measure := func(name string, f func(b *testing.B)) benchgate.Result {
+		var res benchgate.Result
+		if d := benchgate.Deltas(func() { res = benchgate.Run(name, &results, f) }); d != nil {
+			deltas[name] = d
+		}
+		return res
+	}
 
 	l, r := joinInputs(40000)
 	joinPred := expr.EqCols("l", "x", "r", "x")
-	serialJoin := benchgate.Run("EquiJoinLarge/serial", &results, func(b *testing.B) {
+	serialJoin := measure("EquiJoinLarge/serial", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			out, err := executor.JoinExec(plan.InnerJoin, joinPred, l, r)
@@ -103,7 +114,7 @@ func main() {
 			}
 		}
 	})
-	partJoin := benchgate.Run("EquiJoinLarge/partitioned", &results, func(b *testing.B) {
+	partJoin := measure("EquiJoinLarge/partitioned", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			out, err := executor.JoinExecParallel(plan.InnerJoin, joinPred, l, r, 0)
@@ -122,7 +133,7 @@ func main() {
 		{Func: algebra.CountStar, Out: schema.Attr("q", "n")},
 		{Func: algebra.Sum, Arg: expr.Column("t", "y"), Out: schema.Attr("q", "s")},
 	}
-	hashAgg := benchgate.Run("HashAgg", &results, func(b *testing.B) {
+	hashAgg := measure("HashAgg", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if out := algebra.GroupProject(aggKeys, aggs, aggRel); out.Len() != 1000 {
@@ -133,7 +144,7 @@ func main() {
 
 	distRel := distinctInput()
 	distAttrs := []schema.Attribute{schema.Attr("t", "x"), schema.Attr("t", "y")}
-	distinct := benchgate.Run("DistinctProject", &results, func(b *testing.B) {
+	distinct := measure("DistinctProject", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if out := distRel.Project(distAttrs, true); out.Len() != 55000 {
@@ -148,6 +159,7 @@ func main() {
 		SpeedupEquiJoinPartitioned: seeds[0].MsPerOp / partJoin.MsPerOp,
 		SpeedupHashAgg:             seeds[1].MsPerOp / hashAgg.MsPerOp,
 		SpeedupDistinct:            seeds[2].MsPerOp / distinct.MsPerOp,
+		CounterDeltas:              deltas,
 	}
 	if err := benchgate.WriteJSON(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchexec:", err)

@@ -26,6 +26,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/guard"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/relation"
@@ -60,6 +61,14 @@ type report struct {
 	// accounting at every wave boundary) through the whole run.
 	GuardOverheadQ5     float64 `json:"guardOverheadQ5"`
 	GuardOverheadChain7 float64 `json:"guardOverheadChain7"`
+	// ObsOverheadQ5 is the observed / plain time ratio on the memo-engine
+	// Q5 optimization: the cost of metering against a private registry,
+	// merging it into the process aggregate and depositing a flight
+	// record — the full observability pipeline.
+	ObsOverheadQ5 float64 `json:"obsOverheadQ5"`
+	// CounterDeltas maps workload name → the default-registry counter
+	// movement (obs.Snapshot.Diff) across that workload's measurement.
+	CounterDeltas map[string]map[string]int64 `json:"counterDeltas,omitempty"`
 }
 
 // Seed numbers measured at the pre-change commit on this container
@@ -97,7 +106,8 @@ func saturateBench(q plan.Node, workers int) func(b *testing.B) {
 }
 
 // optimizeBench measures a full optimization — enumerate, cost, pick
-// best — with the given engine, a fresh registry per iteration.
+// best — with the given engine, metering against the default registry
+// (so the workload's counter deltas land in the report).
 func optimizeBench(q plan.Node, db plan.Database, est *stats.Estimator, mode optimizer.MemoMode) func(b *testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
@@ -105,7 +115,6 @@ func optimizeBench(q plan.Node, db plan.Database, est *stats.Estimator, mode opt
 			o := optimizer.New(est)
 			o.Opts.UseMemo = mode
 			o.Opts.MaxPlans = 10000
-			o.Opts.Obs = obs.NewRegistry()
 			if _, err := o.Optimize(q, db); err != nil {
 				b.Fatal(err)
 			}
@@ -122,7 +131,6 @@ func optimizeBenchGuarded(q plan.Node, db plan.Database, est *stats.Estimator, m
 			o := optimizer.New(est)
 			o.Opts.UseMemo = mode
 			o.Opts.MaxPlans = 10000
-			o.Opts.Obs = obs.NewRegistry()
 			o.Opts.Budget = guard.New(context.Background(), guard.Limits{MaxExprs: 1 << 40}, nil)
 			if _, err := o.Optimize(q, db); err != nil {
 				b.Fatal(err)
@@ -131,33 +139,81 @@ func optimizeBenchGuarded(q plan.Node, db plan.Database, est *stats.Estimator, m
 	}
 }
 
+// optimizeBenchObserved is optimizeBench plus the full observability
+// pipeline per iteration: meter against a private registry, merge it
+// into the process aggregate, deposit a flight record. The gate holds
+// this within the obs tolerance of the plain run — observability must
+// stay within noise of the un-observed optimizer.
+func optimizeBenchObserved(q plan.Node, db plan.Database, est *stats.Estimator, mode optimizer.MemoMode) func(b *testing.B) {
+	rec := flight.New(0)
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := optimizer.New(est)
+			o.Opts.UseMemo = mode
+			o.Opts.MaxPlans = 10000
+			reg := obs.NewRegistry()
+			o.Opts.Obs = reg
+			res, err := o.Optimize(q, db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			obs.Default().Merge(reg)
+			rec.Add(flight.Record{
+				Query:    plan.Key(q),
+				PlanKey:  plan.Key(res.Best.Plan),
+				Degraded: res.Degraded,
+				Counters: reg.Snapshot().Counters,
+			})
+		}
+	}
+}
+
 func main() {
 	out := flag.String("out", "BENCH_optimizer.json", "where to write the JSON report")
 	tolerance := flag.Float64("tolerance", 1.10, "max allowed candidate/baseline time ratio before failing")
 	guardTolerance := flag.Float64("guard-tolerance", 1.02, "max allowed guarded/unguarded time ratio (guard overhead budget)")
+	obsTolerance := flag.Float64("obs-tolerance", 1.02, "max allowed observed/plain time ratio (observability overhead budget)")
 	flag.Parse()
 
 	fmt.Printf("benchopt: GOMAXPROCS=%d %s\n", runtime.GOMAXPROCS(0), runtime.Version())
 	var results []benchgate.Result
+	deltas := map[string]map[string]int64{}
+	measure := func(name string, f func(b *testing.B)) benchgate.Result {
+		var res benchgate.Result
+		if d := benchgate.Deltas(func() { res = benchgate.Run(name, &results, f) }); d != nil {
+			deltas[name] = d
+		}
+		return res
+	}
+	measureBest := func(name string, rounds int, f func(b *testing.B)) benchgate.Result {
+		var res benchgate.Result
+		if d := benchgate.Deltas(func() { res = benchgate.RunBest(name, &results, rounds, f) }); d != nil {
+			deltas[name] = d
+		}
+		return res
+	}
 
 	q5 := experiments.Q5()
 	chain := experiments.ChainQuery(7)
-	serialQ5 := benchgate.Run("SaturateQ5/serial", &results, saturateBench(q5, 1))
-	parQ5 := benchgate.Run("SaturateQ5/parallel", &results, saturateBench(q5, -1))
-	benchgate.Run("SaturateChain7/serial", &results, saturateBench(chain, 1))
-	benchgate.Run("SaturateChain7/parallel", &results, saturateBench(chain, -1))
+	serialQ5 := measure("SaturateQ5/serial", saturateBench(q5, 1))
+	parQ5 := measure("SaturateQ5/parallel", saturateBench(q5, -1))
+	measure("SaturateChain7/serial", saturateBench(chain, 1))
+	measure("SaturateChain7/parallel", saturateBench(chain, -1))
 
 	db := benchDB()
 	est := stats.NewEstimator(stats.FromDatabase(db))
-	satOptQ5 := benchgate.Run("OptimizeQ5/saturate", &results, optimizeBench(q5, db, est, optimizer.MemoOff))
-	satOptChain := benchgate.Run("OptimizeChain7/saturate", &results, optimizeBench(chain, db, est, optimizer.MemoOff))
-	// The guard-overhead gates compare at a few percent tolerance, so
-	// both sides are measured min-of-3 — a single testing.Benchmark
-	// sample jitters more than the overhead being gated.
-	memOptQ5 := benchgate.RunBest("OptimizeQ5/memo", &results, 3, optimizeBench(q5, db, est, optimizer.MemoAuto))
-	memOptChain := benchgate.RunBest("OptimizeChain7/memo", &results, 3, optimizeBench(chain, db, est, optimizer.MemoAuto))
-	memOptQ5G := benchgate.RunBest("OptimizeQ5/memo-guarded", &results, 3, optimizeBenchGuarded(q5, db, est, optimizer.MemoAuto))
-	memOptChainG := benchgate.RunBest("OptimizeChain7/memo-guarded", &results, 3, optimizeBenchGuarded(chain, db, est, optimizer.MemoAuto))
+	satOptQ5 := measure("OptimizeQ5/saturate", optimizeBench(q5, db, est, optimizer.MemoOff))
+	satOptChain := measure("OptimizeChain7/saturate", optimizeBench(chain, db, est, optimizer.MemoOff))
+	// The guard- and obs-overhead gates compare at a few percent
+	// tolerance, so both sides are measured min-of-3 — a single
+	// testing.Benchmark sample jitters more than the overhead being
+	// gated.
+	memOptQ5 := measureBest("OptimizeQ5/memo", 3, optimizeBench(q5, db, est, optimizer.MemoAuto))
+	memOptChain := measureBest("OptimizeChain7/memo", 3, optimizeBench(chain, db, est, optimizer.MemoAuto))
+	memOptQ5G := measureBest("OptimizeQ5/memo-guarded", 3, optimizeBenchGuarded(q5, db, est, optimizer.MemoAuto))
+	memOptChainG := measureBest("OptimizeChain7/memo-guarded", 3, optimizeBenchGuarded(chain, db, est, optimizer.MemoAuto))
+	memOptQ5O := measureBest("OptimizeQ5/memo-observed", 3, optimizeBenchObserved(q5, db, est, optimizer.MemoAuto))
 
 	// One instrumented memo run for the branch-and-bound evidence.
 	reg := obs.NewRegistry()
@@ -211,6 +267,8 @@ func main() {
 
 		GuardOverheadQ5:     memOptQ5G.MsPerOp / memOptQ5.MsPerOp,
 		GuardOverheadChain7: memOptChainG.MsPerOp / memOptChain.MsPerOp,
+		ObsOverheadQ5:       memOptQ5O.MsPerOp / memOptQ5.MsPerOp,
+		CounterDeltas:       deltas,
 	}
 	if err := benchgate.WriteJSON(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchopt:", err)
@@ -222,6 +280,7 @@ func main() {
 		rep.SpeedupMemoQ5, rep.SpeedupMemoChain7)
 	fmt.Printf("guard overhead (guarded/unguarded): Q5 %.4f, chain7 %.4f\n",
 		rep.GuardOverheadQ5, rep.GuardOverheadChain7)
+	fmt.Printf("obs overhead (observed/plain): Q5 %.4f\n", rep.ObsOverheadQ5)
 	fmt.Println("wrote", *out)
 
 	// Regression gates: the parallel engine must not lose to the serial
@@ -238,6 +297,7 @@ func main() {
 		benchgate.Gate{Label: "memo OptimizeChain7 vs saturation", Candidate: memOptChain, Baseline: satOptChain, Tolerance: *tolerance},
 		benchgate.Gate{Label: "guarded OptimizeQ5 vs unguarded", Candidate: memOptQ5G, Baseline: memOptQ5, Tolerance: *guardTolerance},
 		benchgate.Gate{Label: "guarded OptimizeChain7 vs unguarded", Candidate: memOptChainG, Baseline: memOptChain, Tolerance: *guardTolerance},
+		benchgate.Gate{Label: "observed OptimizeQ5 vs plain", Candidate: memOptQ5O, Baseline: memOptQ5, Tolerance: *obsTolerance},
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchopt:", err)

@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
@@ -50,22 +52,33 @@ func main() {
 // options are the parsed command-line flags; run threads them through
 // the demo and query paths.
 type options struct {
-	query     string
-	dataDir   string
-	demo      string
-	baseline  bool
-	rows      bool
-	dot       bool
-	stats     bool
-	trace     bool
-	statsJSON bool
-	workers   int
-	timeout   time.Duration
-	maxExprs  int64
-	maxRows   int64
+	query         string
+	dataDir       string
+	demo          string
+	baseline      bool
+	rows          bool
+	dot           bool
+	stats         bool
+	trace         bool
+	statsJSON     bool
+	workers       int
+	timeout       time.Duration
+	maxExprs      int64
+	maxRows       int64
+	metricsAddr   string
+	metricsLinger time.Duration
+	slowQuery     time.Duration
+
+	// obs is the run's observer, non-nil when -metrics-addr is set;
+	// analyze folds its run into it.
+	obs *reorder.Observer
 }
 
-func (o options) wantAnalyze() bool { return o.stats || o.trace || o.statsJSON }
+// wantAnalyze: -metrics-addr implies an instrumented run — the
+// aggregate registry and flight recorder are only populated by one.
+func (o options) wantAnalyze() bool {
+	return o.stats || o.trace || o.statsJSON || o.metricsAddr != ""
+}
 
 func (o options) limits() reorder.Limits {
 	return reorder.Limits{MaxExprs: o.maxExprs, MaxRows: o.maxRows}
@@ -114,12 +127,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.DurationVar(&o.timeout, "timeout", 0, "wall-clock budget for the whole run (0 = unlimited); exceeding it exits 3")
 	fs.Int64Var(&o.maxExprs, "max-exprs", 0, "cap on enumerated plan expressions (0 = unlimited); tripping it degrades to a best-effort plan, exit 0")
 	fs.Int64Var(&o.maxRows, "max-rows", 0, "cap on intermediate rows during execution (0 = unlimited); tripping it exits 3")
+	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics (Prometheus text) and /debug/queries (flight JSON) on this address during the run; implies an instrumented run")
+	fs.DurationVar(&o.metricsLinger, "metrics-linger", 0, "keep the metrics server up this long after the run finishes (0 = close immediately)")
+	fs.DurationVar(&o.slowQuery, "slow-query", 100*time.Millisecond, "flight-recorder slow-query threshold (0 disables slow stamping)")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: reorder -query <sql> | -demo <supplier|q4|query2> [flags]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
+	}
+
+	if o.metricsAddr != "" {
+		o.obs = reorder.NewObserver(0)
+		o.obs.Flight.SetSlowThreshold(o.slowQuery)
+		srv, err := serveObs(o.metricsAddr, o.obs)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitRuntime
+		}
+		fmt.Fprintf(stderr, "metrics: serving on http://%s/metrics\n", srv.Addr())
+		defer srv.CloseAfter(o.metricsLinger)
 	}
 
 	db := datagen.Supplier(datagen.DefaultSupplierConfig)
@@ -235,6 +263,36 @@ func runDemo(o options, db reorder.Database, stdout, stderr io.Writer) int {
 	return exitOK
 }
 
+// obsServer is the -metrics-addr HTTP server: the observer's handler
+// on a plain listener, shut down (optionally after a linger window,
+// so one-shot CLI runs can still be scraped) when the run ends.
+type obsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// serveObs starts serving ob on addr (":0" picks a free port).
+func serveObs(addr string, ob *reorder.Observer) (*obsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("reorder: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: ob.Handler()}
+	go srv.Serve(ln)
+	return &obsServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (with the resolved port).
+func (s *obsServer) Addr() string { return s.ln.Addr().String() }
+
+// CloseAfter keeps serving for the linger window, then shuts down.
+func (s *obsServer) CloseAfter(linger time.Duration) {
+	if linger > 0 {
+		time.Sleep(linger)
+	}
+	s.srv.Close()
+}
+
 // query2DB is the skewed three-relation database experiment E9 uses
 // for Query 2.
 func query2DB() reorder.Database {
@@ -249,7 +307,7 @@ func query2DB() reorder.Database {
 // analyze optimizes node, executes it instrumented under the run's
 // budget and prints the requested views of the report.
 func analyze(ctx context.Context, node reorder.Node, db reorder.Database, o options, stdout, stderr io.Writer) int {
-	rep, err := reorder.ExplainAnalyzeBudget(ctx, node, db, o.workers, o.limits())
+	rep, err := reorder.ExplainAnalyzeObserved(ctx, node, db, o.workers, o.limits(), o.obs)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return exitFor(err)

@@ -2,8 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"net/http"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"repro/internal/obs"
 )
 
 func runCapture(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -124,5 +130,146 @@ func TestRunDemoQ4RejectsStats(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "no executable database") {
 		t.Errorf("stderr: %s", stderr)
+	}
+}
+
+// syncBuffer is a strings.Builder safe for the writer goroutine
+// (run's stderr) and the polling test to share.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestRunMetricsAddr runs the CLI with -metrics-addr and scrapes the
+// endpoints during the linger window: /metrics must pass the strict
+// exposition parse and /debug/queries must hold the run's record.
+func TestRunMetricsAddr(t *testing.T) {
+	var stdout strings.Builder
+	stderr := &syncBuffer{}
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-demo", "supplier", "-stats",
+			"-metrics-addr", "127.0.0.1:0",
+			"-metrics-linger", "2s",
+			"-slow-query", "1ns",
+		}, &stdout, stderr)
+	}()
+
+	// The address is printed to stderr as soon as the listener is up.
+	re := regexp.MustCompile(`metrics: serving on http://(\S+)/metrics`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := re.FindStringSubmatch(stderr.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics address never printed; stderr: %s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Wait for the run itself to finish so the flight record exists;
+	// the server lingers past this point.
+	waitRec := time.Now().Add(10 * time.Second)
+	var dump struct {
+		Len       int `json:"len"`
+		SlowCount int `json:"slowCount"`
+		Records   []struct {
+			Query   string `json:"query"`
+			PlanKey string `json:"planKey"`
+			Phases  []struct {
+				Name string `json:"name"`
+			} `json:"phases"`
+			Ops []struct {
+				Op     string  `json:"op"`
+				QError float64 `json:"qError"`
+			} `json:"ops"`
+		} `json:"records"`
+	}
+	for {
+		resp, err := http.Get("http://" + addr + "/debug/queries")
+		if err != nil {
+			t.Fatalf("debug/queries: %v", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&dump)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("debug/queries not JSON: %v", err)
+		}
+		if dump.Len > 0 {
+			break
+		}
+		if time.Now().After(waitRec) {
+			t.Fatal("flight record never appeared")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	rec := dump.Records[0]
+	if rec.Query == "" || rec.PlanKey == "" {
+		t.Errorf("record missing keys: %+v", rec)
+	}
+	if len(rec.Ops) == 0 {
+		t.Error("record has no per-operator rows")
+	}
+	for _, op := range rec.Ops {
+		if op.QError < 1 {
+			t.Errorf("op %s q-error %v < 1", op.Op, op.QError)
+		}
+	}
+	var hasExecute bool
+	for _, p := range rec.Phases {
+		if p.Name == "execute" {
+			hasExecute = true
+		}
+	}
+	if !hasExecute {
+		t.Errorf("record phases lack execute: %+v", rec.Phases)
+	}
+	if dump.SlowCount == 0 {
+		t.Error("1ns slow threshold did not stamp the query slow")
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics scrape: %v", err)
+	}
+	fams, perr := obs.ParseExposition(resp.Body)
+	resp.Body.Close()
+	if perr != nil {
+		t.Fatalf("strict exposition parse: %v", perr)
+	}
+	if fams["optimizer_plans_enumerated_total"] == nil {
+		t.Error("metrics missing optimizer_plans_enumerated_total")
+	}
+	var qerrSeen bool
+	for name, fam := range fams {
+		if name == "executor_qerror_milli" && fam.Type == "histogram" {
+			qerrSeen = true
+		}
+	}
+	if !qerrSeen {
+		t.Error("metrics missing executor_qerror_milli histogram")
+	}
+
+	if code := <-done; code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "EXPLAIN ANALYZE") {
+		t.Error("stats output suppressed by -metrics-addr")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/executor"
 	"repro/internal/guard"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/stats"
@@ -63,7 +64,7 @@ func ExplainAnalyze(q Node, db Database) (*AnalyzeReport, error) {
 // (0 or 1 serial, < 0 GOMAXPROCS). The report is identical for any
 // worker count; only the phase wall times change.
 func ExplainAnalyzeWorkers(q Node, db Database, workers int) (*AnalyzeReport, error) {
-	return explainAnalyze(q, db, workers, nil, obs.NewRegistry())
+	return explainAnalyze(q, db, workers, nil, obs.NewRegistry(), nil)
 }
 
 // ExplainAnalyzeBudget is ExplainAnalyze under resource governance:
@@ -74,10 +75,16 @@ func ExplainAnalyzeWorkers(q Node, db Database, workers int) (*AnalyzeReport, er
 // the report's private registry.
 func ExplainAnalyzeBudget(ctx context.Context, q Node, db Database, workers int, l Limits) (*AnalyzeReport, error) {
 	reg := obs.NewRegistry()
-	return explainAnalyze(q, db, workers, guard.New(ctx, l, reg), reg)
+	return explainAnalyze(q, db, workers, guard.New(ctx, l, reg), reg, nil)
 }
 
-func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.Registry) (*AnalyzeReport, error) {
+// explainAnalyze runs the optimize→execute pipeline against a private
+// registry (so concurrent callers do not mix metrics) and, when an
+// Observer is attached, folds the run into the process-wide aggregate:
+// the private registry merges into ob.Registry and one flight.Record —
+// including the per-operator q-error rows — lands in ob.Flight.
+func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.Registry, ob *Observer) (*AnalyzeReport, error) {
+	start := time.Now()
 	tracer := obs.NewTracer()
 	est := stats.NewEstimator(stats.FromDatabase(db))
 	opt := optimizer.New(est)
@@ -87,25 +94,47 @@ func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.
 	opt.Opts.Budget = b
 	res, err := opt.Optimize(q, db)
 	if err != nil {
+		ob.record(q, nil, nil, reg, b, start, 0, err, 0, nil)
 		return nil, err
 	}
 
 	execSpan := tracer.Start("execute")
+	execStart := time.Now()
 	out, ann, err := executor.RunInstrumentedGuarded(res.Best.Plan, db, reg, b)
+	execNs := time.Since(execStart).Nanoseconds()
 	execSpan.End()
 	if err != nil {
+		ob.record(q, res.Best.Plan, res, reg, b, start, execNs, err, 0, nil)
 		return nil, err
 	}
 	execSpan.Annotate("rows=%d", out.Len())
 
 	// Attach the optimizer's estimates so every operator line shows
-	// actual vs estimated cardinality.
+	// actual vs estimated cardinality, and fold each operator's
+	// q-error into the per-op-type histograms. The flight OpStat rows
+	// key by subtree fingerprint, so estimate accuracy learned here
+	// transfers to any plan containing the same subtree.
+	var ops []flight.OpStat
+	qerr := reg.HistogramVec("executor.qerror_milli", "op")
 	plan.Walk(res.Best.Plan, func(n plan.Node) {
-		if a := ann[n]; a != nil {
-			if rows, err := est.Rows(n); err == nil {
-				a.EstRows = rows
-			}
+		a := ann[n]
+		if a == nil {
+			return
 		}
+		if rows, err := est.Rows(n); err == nil {
+			a.EstRows = rows
+		}
+		op := executor.OpName(n)
+		qe := flight.QError(a.EstRows, a.Rows)
+		qerr.With(op).Observe(int64(qe*1000 + 0.5))
+		ops = append(ops, flight.OpStat{
+			Op:      op,
+			Key:     plan.Key(n),
+			EstRows: a.EstRows,
+			Rows:    a.Rows,
+			QError:  qe,
+			Ns:      a.Elapsed.Nanoseconds(),
+		})
 	})
 
 	tree, err := plan.EncodeJSONAnnotated(res.Best.Plan, ann)
@@ -130,6 +159,7 @@ func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.
 	for _, p := range res.Phases {
 		r.Phases = append(r.Phases, PhaseNs{Name: p.Name, Ns: p.Elapsed.Nanoseconds()})
 	}
+	ob.record(q, res.Best.Plan, res, reg, b, start, execNs, nil, out.Len(), ops)
 	return r, nil
 }
 

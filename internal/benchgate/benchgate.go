@@ -11,6 +11,8 @@ import (
 	"os"
 	"runtime"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // Result is one workload's measurement.
@@ -78,6 +80,22 @@ func WriteJSON(path string, rep any) error {
 	}
 	data = append(data, '\n')
 	return os.WriteFile(path, data, 0o644)
+}
+
+// Deltas runs fn and returns the movement of the default registry's
+// counters across it (obs.Snapshot.Diff of before/after snapshots,
+// zero deltas dropped; nil when nothing moved). The harnesses wrap
+// each workload in it so BENCH_*.json reports how much engine work —
+// waves, rule firings, prunes, hash builds — one measurement drove,
+// alongside how long it took.
+func Deltas(fn func()) map[string]int64 {
+	before := obs.Default().Snapshot()
+	fn()
+	d := obs.Default().Snapshot().Diff(before)
+	if len(d.Counters) == 0 {
+		return nil
+	}
+	return d.Counters
 }
 
 // Gate is one regression check: Candidate must not exceed Baseline by

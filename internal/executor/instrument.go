@@ -34,7 +34,9 @@ func RunInstrumentedGuarded(n plan.Node, db plan.Database, reg *obs.Registry, b 
 	phase := "execute"
 	defer guard.RecoverAs(&err, &phase, plan.Key(n), reg)
 	ann = plan.Annotations{}
-	out, err = runInstrumented(n, db, reg, ann, b)
+	obs.WithPhase(b.Context(), "executor", "execute", func() {
+		out, err = runInstrumented(n, db, reg, ann, b)
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -125,7 +127,7 @@ func runInstrumented(n plan.Node, db plan.Database, reg *obs.Registry, ann plan.
 	}
 	a.Rows = out.Len()
 	a.Elapsed = time.Since(start)
-	op := opName(n)
+	op := OpName(n)
 	reg.Counter("executor.ops").Inc()
 	reg.Counter("executor.op." + op).Inc()
 	reg.Counter("executor.rows_out").Add(int64(out.Len()))
@@ -158,8 +160,10 @@ func recordJoinProbe(a *plan.Annotation, st *joinProbe, reg *obs.Registry) {
 	reg.Counter("executor.hash_collisions").Add(int64(st.Collisions))
 }
 
-// opName returns the stable metric label of a plan operator.
-func opName(n plan.Node) string {
+// OpName returns the stable metric label of a plan operator — the
+// label the per-operator counters, the q-error histograms and the
+// flight recorder's OpStat rows all key by.
+func OpName(n plan.Node) string {
 	switch m := n.(type) {
 	case *plan.Scan:
 		return "scan"

@@ -18,11 +18,14 @@ import (
 // selection — across workers goroutines (0 = GOMAXPROCS). Join output
 // order differs from Run's; results are equal as sets/multisets,
 // which is the relational contract.
-func RunParallel(n plan.Node, db plan.Database, workers int) (*relation.Relation, error) {
+func RunParallel(n plan.Node, db plan.Database, workers int) (out *relation.Relation, err error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return runParallel(n, db, workers, nil)
+	obs.WithPhase(nil, "executor", "execute", func() {
+		out, err = runParallel(n, db, workers, nil)
+	})
+	return out, err
 }
 
 // RunParallelGuarded is RunParallel under resource governance, with
@@ -35,7 +38,10 @@ func RunParallelGuarded(n plan.Node, db plan.Database, workers int, b *guard.Bud
 	}
 	phase := "execute"
 	defer guard.RecoverAs(&err, &phase, plan.Key(n), nil)
-	return runParallel(n, db, workers, b)
+	obs.WithPhase(b.Context(), "executor", "execute", func() {
+		out, err = runParallel(n, db, workers, b)
+	})
+	return out, err
 }
 
 // runParallel mirrors run's guard protocol: budget check on operator
@@ -206,4 +212,3 @@ func seqSelect(p expr.Pred, in *relation.Relation) *relation.Relation {
 	}
 	return out
 }
-

@@ -218,6 +218,30 @@ func (b *Budget) Err() error {
 // Tripped reports whether the kind's budget has been exceeded.
 func (b *Budget) Tripped(k Kind) bool { return b != nil && b.tripped[k].Load() }
 
+// Trips returns the names of every budget kind that has tripped, in
+// kind order — the flight recorder stamps them onto query records.
+// Nil (no trips) for a nil or untripped budget.
+func (b *Budget) Trips() []string {
+	if b == nil {
+		return nil
+	}
+	var out []string
+	for k := Exprs; k < numKinds; k++ {
+		if b.tripped[k].Load() {
+			out = append(out, k.String())
+		}
+	}
+	return out
+}
+
+// Used returns the cumulative charge against a kind.
+func (b *Budget) Used(k Kind) int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used[k].Load()
+}
+
 // charge adds n to the kind's usage and trips when it crosses the
 // configured limit. The first trip of each kind bumps
 // guard.budget_trips.<kind>.

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/guard"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -13,9 +14,9 @@ import (
 type taskKind uint8
 
 const (
-	nodeKind taskKind = iota // ScopeNode rules on the canonical expression
-	childKind                // ScopeChild rules on a one-slot binding
-	treeKind                 // ScopeJoinTree rules on a pure join tree
+	nodeKind  taskKind = iota // ScopeNode rules on the canonical expression
+	childKind                 // ScopeChild rules on a one-slot binding
+	treeKind                  // ScopeJoinTree rules on a pure join tree
 )
 
 // task is one binding to apply rules to. Tasks are generated in a
@@ -57,7 +58,18 @@ func (o Options) workers() int {
 // than erroring — extraction still covers everything admitted). A
 // non-nil error means the run was aborted: cancellation, an injected
 // fault, or a contained rule-application panic.
-func (m *Memo) Explore() error {
+//
+// The run carries pprof labels engine=memo phase=explore, which the
+// rule-application worker goroutines inherit, so CPU profiles split
+// exploration from extraction and execution.
+func (m *Memo) Explore() (err error) {
+	obs.WithPhase(m.opts.Budget.Context(), "memo", "explore", func() {
+		err = m.explore()
+	})
+	return err
+}
+
+func (m *Memo) explore() error {
 	reg := m.obs()
 	b := m.opts.Budget
 	if !m.chargeInit {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/guard"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -42,8 +43,16 @@ type Best struct {
 // (which the stats model's bottom-up recurrences do).
 //
 // Shared groups are extracted once; extraction wall time is reported
-// as memo.extract_ns.
-func (m *Memo) Extract(roots []GroupID, c Coster) (Best, error) {
+// as memo.extract_ns. The run carries pprof labels engine=memo
+// phase=cost, matching the saturation path's costing label.
+func (m *Memo) Extract(roots []GroupID, c Coster) (best Best, err error) {
+	obs.WithPhase(m.opts.Budget.Context(), "memo", "cost", func() {
+		best, err = m.extract(roots, c)
+	})
+	return best, err
+}
+
+func (m *Memo) extract(roots []GroupID, c Coster) (Best, error) {
 	start := time.Now()
 	defer func() {
 		if reg := m.obs(); reg != nil {

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestDiffCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(5)
+	r.Counter("b").Add(2)
+	before := r.Snapshot()
+	r.Counter("a").Add(3)
+	r.Counter("c").Inc()
+	d := r.Snapshot().Diff(before)
+	if d.Counters["a"] != 3 || d.Counters["c"] != 1 {
+		t.Fatalf("counter deltas = %v", d.Counters)
+	}
+	if _, ok := d.Counters["b"]; ok {
+		t.Fatalf("unmoved counter b should be dropped: %v", d.Counters)
+	}
+}
+
+func TestDiffGaugesAreLevels(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g").Set(10)
+	before := r.Snapshot()
+	r.Gauge("g").Set(4)
+	d := r.Snapshot().Diff(before)
+	if d.Gauges["g"] != 4 {
+		t.Fatalf("gauge in diff = %d, want closing value 4", d.Gauges["g"])
+	}
+}
+
+func TestDiffHistogramsRecomputeQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	// Before the window: 100 small observations.
+	for i := 0; i < 100; i++ {
+		h.Observe(1)
+	}
+	before := r.Snapshot()
+	// The window itself: 10 large observations.
+	for i := 0; i < 10; i++ {
+		h.Observe(1 << 20)
+	}
+	d := r.Snapshot().Diff(before)
+	w := d.Histograms["h"]
+	if w.Count != 10 || w.Sum != 10<<20 {
+		t.Fatalf("window count/sum = %d/%d", w.Count, w.Sum)
+	}
+	// All window observations are large, so the window quantiles must
+	// reflect only them — not the pre-window values.
+	if w.P50 < 1<<20-1 || w.P99 < 1<<20-1 {
+		t.Fatalf("window quantiles polluted by pre-window data: p50=%d p99=%d", w.P50, w.P99)
+	}
+	// A histogram that did not move is dropped.
+	r.Histogram("idle").Observe(1)
+	before2 := r.Snapshot()
+	d2 := r.Snapshot().Diff(before2)
+	if _, ok := d2.Histograms["idle"]; ok {
+		t.Fatalf("idle histogram should be dropped from diff")
+	}
+}
+
+func TestDiffAgainstEmptyBase(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(7)
+	r.Histogram("h").Observe(5)
+	d := r.Snapshot().Diff(Snapshot{})
+	if d.Counters["a"] != 7 || d.Histograms["h"].Count != 1 {
+		t.Fatalf("diff vs empty = %+v", d)
+	}
+}
+
+func TestRegistryMerge(t *testing.T) {
+	agg := NewRegistry()
+	agg.Counter("runs").Add(1)
+	agg.Histogram("ns").Observe(100)
+
+	run := NewRegistry()
+	run.Counter("runs").Add(1)
+	run.Counter("memo.waves").Add(3)
+	run.Gauge("last").Set(42)
+	run.Histogram("ns").Observe(7)
+	run.Histogram("ns").Observe(200000)
+
+	agg.Merge(run)
+	s := agg.Snapshot()
+	if s.Counters["runs"] != 2 || s.Counters["memo.waves"] != 3 {
+		t.Fatalf("merged counters = %v", s.Counters)
+	}
+	if s.Gauges["last"] != 42 {
+		t.Fatalf("merged gauge = %v", s.Gauges)
+	}
+	h := s.Histograms["ns"]
+	if h.Count != 3 || h.Sum != 200107 {
+		t.Fatalf("merged histogram = %+v", h)
+	}
+	if h.Min != 7 || h.Max != 200000 {
+		t.Fatalf("merged min/max = %d/%d, want 7/200000", h.Min, h.Max)
+	}
+	// Merging a nil src is a no-op; merging into nil goes to Default.
+	agg.Merge(nil)
+	if agg.Snapshot().Counters["runs"] != 2 {
+		t.Fatal("nil merge changed the registry")
+	}
+}
+
+func TestMergePreservesBucketQuantiles(t *testing.T) {
+	agg := NewRegistry()
+	run1, run2 := NewRegistry(), NewRegistry()
+	for i := 0; i < 99; i++ {
+		run1.Histogram("h").Observe(1)
+	}
+	run2.Histogram("h").Observe(1 << 30)
+	agg.Merge(run1)
+	agg.Merge(run2)
+	h := agg.Snapshot().Histograms["h"]
+	if h.Count != 100 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if h.P50 != 1 {
+		t.Fatalf("p50 = %d, want 1", h.P50)
+	}
+	if h.P99 != 1 {
+		t.Fatalf("p99 = %d, want 1 (99 of 100 observations are 1)", h.P99)
+	}
+}

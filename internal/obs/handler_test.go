@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type fakeQueryLog struct{ body string }
+
+func (f *fakeQueryLog) WriteJSON(w io.Writer) error {
+	_, err := io.WriteString(w, f.body)
+	return err
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("optimizer.plans_enumerated").Add(9)
+	r.HistogramVec("executor.qerror_milli", "op").With("scan").Observe(1000)
+	srv := httptest.NewServer(Handler(r, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	fams, err := ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams["optimizer_plans_enumerated_total"].Samples[0].Value != 9 {
+		t.Fatal("counter not exposed")
+	}
+	if fams["executor_qerror_milli"] == nil {
+		t.Fatal("labeled histogram not exposed")
+	}
+}
+
+func TestHandlerQueries(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), &fakeQueryLog{body: `{"records":[]}`}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var parsed map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&parsed); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := parsed["records"]; !ok {
+		t.Fatal("records key missing")
+	}
+}
+
+func TestHandlerQueriesNil(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHandlerConcurrentScrape hammers /metrics while the registry is
+// being written and merged into — the scrape-while-executing shape —
+// and demands every response still parse strictly. Run under -race.
+func TestHandlerConcurrentScrape(t *testing.T) {
+	agg := NewRegistry()
+	srv := httptest.NewServer(Handler(agg, nil))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			v := agg.HistogramVec("executor.qerror_milli", "op")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				agg.Counter("executor.ops").Inc()
+				v.With("scan").Observe(int64(i % 4096))
+				run := NewRegistry()
+				run.Counter("memo.waves").Add(int64(w + 1))
+				run.Histogram("executor.op_ns").Observe(int64(i))
+				agg.Merge(run)
+			}
+		}(w)
+	}
+
+	for i := 0; i < 30; i++ {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, perr := ParseExposition(resp.Body)
+		resp.Body.Close()
+		if perr != nil {
+			close(stop)
+			writers.Wait()
+			t.Fatalf("scrape %d failed strict parse: %v", i, perr)
+		}
+	}
+	close(stop)
+	writers.Wait()
+}

@@ -146,15 +146,38 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max.Load()
 }
 
+// Bucket is one occupied histogram bucket in a snapshot: Le is the
+// bucket's inclusive upper bound (0, 1, 3, 7, …, 2^i-1) and N its
+// non-cumulative observation count. Only occupied buckets are
+// exported, so the slice stays small; the Prometheus writer
+// re-accumulates them into the format's cumulative le series.
+type Bucket struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// bucketBound returns bucket i's inclusive upper bound.
+func bucketBound(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
 // HistogramSnapshot is the serializable summary of a histogram.
 type HistogramSnapshot struct {
-	Count int64   `json:"count"`
-	Sum   int64   `json:"sum"`
-	Min   int64   `json:"min"`
-	Max   int64   `json:"max"`
-	Mean  float64 `json:"mean"`
-	P50   int64   `json:"p50"`
-	P99   int64   `json:"p99"`
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Mean    float64  `json:"mean"`
+	P50     int64    `json:"p50"`
+	P95     int64    `json:"p95"`
+	P99     int64    `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -163,12 +186,48 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		Sum:   h.sum.Load(),
 		Mean:  h.Mean(),
 		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
 	}
 	if s.Count > 0 {
 		s.Min, s.Max = h.min.Load(), h.max.Load()
 	}
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: bucketBound(i), N: n})
+		}
+	}
 	return s
+}
+
+// merge folds src's observations into h: counts, sums and buckets add,
+// min/max widen. Safe against concurrent observation of either side.
+func (h *Histogram) merge(src *Histogram) {
+	n := src.count.Load()
+	if n == 0 {
+		return
+	}
+	h.count.Add(n)
+	h.sum.Add(src.sum.Load())
+	for i := 0; i < histBuckets; i++ {
+		if b := src.buckets[i].Load(); b > 0 {
+			h.buckets[i].Add(b)
+		}
+	}
+	for _, v := range []int64{src.min.Load(), src.max.Load()} {
+		for {
+			old := h.min.Load()
+			if v >= old || h.min.CompareAndSwap(old, v) {
+				break
+			}
+		}
+		for {
+			old := h.max.Load()
+			if v <= old || h.max.CompareAndSwap(old, v) {
+				break
+			}
+		}
+	}
 }
 
 // Registry holds named metrics. Lookups get-or-create, so callers
@@ -259,6 +318,44 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Merge folds src's metrics into r: counters add, gauges take src's
+// value, histograms merge bucket-wise (counts, sums and buckets add,
+// min/max widen). This is how a per-query private registry — the
+// EXPLAIN ANALYZE isolation contract — feeds a process-wide aggregate
+// one for /metrics exposition without the query paths ever contending
+// on shared metric maps. Safe for concurrent use on both sides.
+func (r *Registry) Merge(src *Registry) {
+	if src == nil {
+		return
+	}
+	if r == nil {
+		r = defaultRegistry
+	}
+	src.mu.RLock()
+	counters := make(map[string]*Counter, len(src.counters))
+	for name, c := range src.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(src.gauges))
+	for name, g := range src.gauges {
+		gauges[name] = g
+	}
+	histograms := make(map[string]*Histogram, len(src.histograms))
+	for name, h := range src.histograms {
+		histograms[name] = h
+	}
+	src.mu.RUnlock()
+	for name, c := range counters {
+		r.Counter(name).Add(c.Value())
+	}
+	for name, g := range gauges {
+		r.Gauge(name).Set(g.Value())
+	}
+	for name, h := range histograms {
+		r.Histogram(name).merge(h)
+	}
+}
+
 // Reset drops every metric; meant for tests and between CLI runs.
 func (r *Registry) Reset() {
 	if r == nil {
@@ -335,8 +432,8 @@ func (s Snapshot) String() string {
 	sort.Strings(names)
 	for _, n := range names {
 		h := s.Histograms[n]
-		fmt.Fprintf(&b, "%-52s n=%d sum=%d mean=%.1f min=%d max=%d p50<=%d p99<=%d\n",
-			n, h.Count, h.Sum, h.Mean, h.Min, h.Max, h.P50, h.P99)
+		fmt.Fprintf(&b, "%-52s n=%d sum=%d mean=%.1f min=%d max=%d p50<=%d p95<=%d p99<=%d\n",
+			n, h.Count, h.Sum, h.Mean, h.Min, h.Max, h.P50, h.P95, h.P99)
 	}
 	return b.String()
 }

@@ -213,37 +213,46 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (res *Result, err er
 	var chains [][]string
 	var degraded string
 	firings := make(map[string]int)
-	for _, sd := range seeds {
-		plans, trace, stopped, serr := core.SaturateGuarded(sd.node, core.SaturateOptions{
-			Rules:    rules,
-			MaxPlans: maxPlans - len(all),
-			Workers:  o.Opts.Workers,
-			Budget:   b,
-			Obs:      reg,
-		})
-		if serr != nil {
-			return nil, serr
-		}
-		if stopped != "" {
-			degraded = stopped
-		}
-		for _, p := range plans {
-			key := plan.Key(p)
-			if !seen[key] {
-				seen[key] = true
-				all = append(all, p)
-				chain := append(append([]string(nil), sd.prefix...), core.DerivationChain(trace, key)...)
-				chains = append(chains, chain)
-				if len(chain) > 0 {
-					firings[chain[len(chain)-1]]++
+	var satErr error
+	// The pprof labels make CPU profiles attribute samples to the
+	// enumeration phase; the saturation worker pool inherits them.
+	obs.WithPhase(b.Context(), "saturation", "saturate", func() {
+		for _, sd := range seeds {
+			plans, trace, stopped, serr := core.SaturateGuarded(sd.node, core.SaturateOptions{
+				Rules:    rules,
+				MaxPlans: maxPlans - len(all),
+				Workers:  o.Opts.Workers,
+				Budget:   b,
+				Obs:      reg,
+			})
+			if serr != nil {
+				satErr = serr
+				return
+			}
+			if stopped != "" {
+				degraded = stopped
+			}
+			for _, p := range plans {
+				key := plan.Key(p)
+				if !seen[key] {
+					seen[key] = true
+					all = append(all, p)
+					chain := append(append([]string(nil), sd.prefix...), core.DerivationChain(trace, key)...)
+					chains = append(chains, chain)
+					if len(chain) > 0 {
+						firings[chain[len(chain)-1]]++
+					}
 				}
 			}
+			if len(all) >= maxPlans || degraded != "" {
+				break
+			}
 		}
-		if len(all) >= maxPlans || degraded != "" {
-			break
-		}
-	}
+	})
 	endSaturate()
+	if satErr != nil {
+		return nil, satErr
+	}
 	reg.Counter("optimizer.plans_enumerated").Add(int64(len(all)))
 	reg.Gauge("optimizer.last_considered").Set(int64(len(all)))
 	if len(all) == 0 {
@@ -265,7 +274,10 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (res *Result, err er
 		}
 	}
 	endCost := phase("cost")
-	ranked, err := o.costAll(sess, all, chains, reg)
+	var ranked []Ranked
+	obs.WithPhase(b.Context(), "saturation", "cost", func() {
+		ranked, err = o.costAll(sess, all, chains, reg)
+	})
 	if err != nil {
 		return nil, err
 	}

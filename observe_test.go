@@ -1,0 +1,268 @@
+package reorder
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+func TestExplainAnalyzeObserved(t *testing.T) {
+	db := datagen.Supplier(datagen.DefaultSupplierConfig)
+	q := datagen.SupplierQuery()
+	ob := NewObserver(8)
+	rep, err := ExplainAnalyzeObserved(context.Background(), q, db, 1, Limits{}, ob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One flight record, stamped and fully populated.
+	if ob.Flight.Len() != 1 {
+		t.Fatalf("flight records = %d, want 1", ob.Flight.Len())
+	}
+	rec := ob.Flight.Snapshot()[0]
+	if rec.Query != plan.Key(q) {
+		t.Errorf("record query = %q, want %q", rec.Query, plan.Key(q))
+	}
+	node, _ := rep.Plan()
+	if rec.PlanKey != plan.Key(node) {
+		t.Errorf("record plan key = %q, want %q", rec.PlanKey, plan.Key(node))
+	}
+	if rec.Hash == 0 || rec.Seq != 1 || rec.DurNs <= 0 {
+		t.Errorf("record not stamped: hash=%d seq=%d dur=%d", rec.Hash, rec.Seq, rec.DurNs)
+	}
+	if rec.RowsOut != rep.RowsOut {
+		t.Errorf("record rows = %d, report rows = %d", rec.RowsOut, rep.RowsOut)
+	}
+	if len(rec.Ops) != plan.CountNodes(node) {
+		t.Errorf("record has %d op rows, plan has %d nodes", len(rec.Ops), plan.CountNodes(node))
+	}
+	opTypes := map[string]bool{}
+	for _, op := range rec.Ops {
+		if op.Key == "" || op.Op == "" {
+			t.Errorf("op row missing key/op: %+v", op)
+		}
+		if op.QError < 1 {
+			t.Errorf("op %s q-error %v < 1", op.Op, op.QError)
+		}
+		opTypes[op.Op] = true
+	}
+	if !opTypes["scan"] {
+		t.Errorf("no scan op row; ops = %v", opTypes)
+	}
+	// Phase timings include the optimizer phases and execution.
+	names := map[string]bool{}
+	for _, p := range rec.Phases {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"explore", "cost", "execute"} {
+		if !names[want] {
+			t.Errorf("record phases missing %q: %v", want, rec.Phases)
+		}
+	}
+	// The counter subset carries optimizer provenance, not executor noise.
+	if rec.Counters["optimizer.plans_enumerated"] == 0 {
+		t.Errorf("record counters missing optimizer.plans_enumerated: %v", rec.Counters)
+	}
+	for name := range rec.Counters {
+		if strings.HasPrefix(name, "executor.") {
+			t.Errorf("executor counter %q leaked into the flight subset", name)
+		}
+	}
+
+	// The aggregate registry got the merged run, including per-op-type
+	// q-error histograms.
+	agg := ob.Registry.Snapshot()
+	if agg.Counters["optimizer.plans_enumerated"] != int64(rep.Considered) {
+		t.Errorf("aggregate plans_enumerated = %d, want %d",
+			agg.Counters["optimizer.plans_enumerated"], rep.Considered)
+	}
+	qerrSeen := 0
+	for name, h := range agg.Histograms {
+		base, labels := obs.SplitLabels(name)
+		if base != "executor.qerror_milli" {
+			continue
+		}
+		qerrSeen++
+		if !strings.HasPrefix(labels, `op="`) {
+			t.Errorf("q-error histogram %q not labeled by op", name)
+		}
+		// milli-q-error is >= 1000 by construction (q-error >= 1).
+		if h.Count == 0 || h.Min < 1000 {
+			t.Errorf("q-error histogram %q: count=%d min=%d", name, h.Count, h.Min)
+		}
+	}
+	if qerrSeen == 0 {
+		t.Fatal("no per-op q-error histograms in the aggregate registry")
+	}
+
+	// The report's own registry stays private: a second observed run
+	// doubles the aggregate but not the report snapshot.
+	rep2, err := ExplainAnalyzeObserved(context.Background(), q, db, 1, Limits{}, ob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ob.Flight.Len() != 2 {
+		t.Fatalf("flight records after second run = %d", ob.Flight.Len())
+	}
+	if got := ob.Registry.Snapshot().Counters["optimizer.plans_enumerated"]; got != int64(rep.Considered+rep2.Considered) {
+		t.Errorf("aggregate after two runs = %d, want %d", got, rep.Considered+rep2.Considered)
+	}
+	if rep2.Metrics.Counters["optimizer.plans_enumerated"] != int64(rep2.Considered) {
+		t.Error("second report's private metrics polluted by the aggregate")
+	}
+}
+
+func TestExplainAnalyzeObservedNilObserver(t *testing.T) {
+	db := datagen.Supplier(datagen.DefaultSupplierConfig)
+	if _, err := ExplainAnalyzeObserved(context.Background(), datagen.SupplierQuery(), db, 1, Limits{}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserverRecordsFailedRuns(t *testing.T) {
+	db := datagen.Supplier(datagen.DefaultSupplierConfig)
+	q := datagen.SupplierQuery()
+	ob := NewObserver(4)
+	// A one-row execution budget aborts the instrumented run.
+	_, err := ExplainAnalyzeObserved(context.Background(), q, db, 1, Limits{MaxRows: 1}, ob)
+	if err == nil {
+		t.Fatal("expected a budget error")
+	}
+	if ob.Flight.Len() != 1 {
+		t.Fatalf("failed run not recorded: len = %d", ob.Flight.Len())
+	}
+	rec := ob.Flight.Snapshot()[0]
+	if rec.Error == "" {
+		t.Fatal("record has no error")
+	}
+	trips := strings.Join(rec.BudgetTrips, ",")
+	if !strings.Contains(trips, "rows") {
+		t.Errorf("budget trips = %q, want rows", trips)
+	}
+}
+
+// TestObserverScrapeWhileExecuting scrapes /metrics and /debug/queries
+// while observed queries run concurrently; every response must parse.
+// Meaningful under -race.
+func TestObserverScrapeWhileExecuting(t *testing.T) {
+	db := datagen.Supplier(datagen.DefaultSupplierConfig)
+	q := datagen.SupplierQuery()
+	ob := NewObserver(16)
+	srv := httptest.NewServer(ob.Handler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var runners sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		runners.Add(1)
+		go func() {
+			defer runners.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := ExplainAnalyzeObserved(context.Background(), q, db, 1, Limits{}, ob); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, perr := obs.ParseExposition(resp.Body)
+		resp.Body.Close()
+		if perr != nil {
+			close(stop)
+			runners.Wait()
+			t.Fatalf("scrape %d failed strict parse: %v", i, perr)
+		}
+
+		resp, err = http.Get(srv.URL + "/debug/queries")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dump struct {
+			Capacity int               `json:"capacity"`
+			Records  []json.RawMessage `json:"records"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&dump)
+		resp.Body.Close()
+		if derr != nil {
+			close(stop)
+			runners.Wait()
+			t.Fatalf("queries dump %d not valid JSON: %v", i, derr)
+		}
+		if dump.Capacity != 16 || len(dump.Records) > 16 {
+			close(stop)
+			runners.Wait()
+			t.Fatalf("dump %d out of bounds: cap=%d records=%d", i, dump.Capacity, len(dump.Records))
+		}
+	}
+	close(stop)
+	runners.Wait()
+}
+
+// TestAnalyzeJSONQuantilesAndSpans pins the -statsjson satellite: the
+// JSON report carries histogram quantiles (P50/P95/P99), occupied
+// buckets and the span tree, and all of them survive a round trip.
+func TestAnalyzeJSONQuantilesAndSpans(t *testing.T) {
+	db := datagen.Supplier(datagen.DefaultSupplierConfig)
+	rep, err := ExplainAnalyze(datagen.SupplierQuery(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := rep.Metrics.Histograms["executor.op_ns"]
+	if !ok {
+		t.Fatal("report missing executor.op_ns histogram")
+	}
+	if h.P50 <= 0 || h.P95 < h.P50 || h.P99 < h.P95 {
+		t.Fatalf("quantiles not ordered: p50=%d p95=%d p99=%d", h.P50, h.P95, h.P99)
+	}
+	if len(h.Buckets) == 0 {
+		t.Fatal("histogram snapshot has no buckets")
+	}
+	if len(rep.Spans) == 0 {
+		t.Fatal("report has no spans")
+	}
+
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeAnalyzeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := back.Metrics.Histograms["executor.op_ns"]
+	if h2.P50 != h.P50 || h2.P95 != h.P95 || h2.P99 != h.P99 {
+		t.Errorf("quantiles changed across round trip: %+v vs %+v", h, h2)
+	}
+	if len(h2.Buckets) != len(h.Buckets) {
+		t.Errorf("buckets lost: %d vs %d", len(h.Buckets), len(h2.Buckets))
+	}
+	if len(back.Spans) != len(rep.Spans) {
+		t.Errorf("spans lost: %d vs %d", len(rep.Spans), len(back.Spans))
+	}
+	// And the raw JSON literally carries the fields -statsjson consumers
+	// read.
+	for _, want := range []string{`"p95"`, `"buckets"`, `"spans"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("statsjson output missing %s", want)
+		}
+	}
+}
