@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: all build vet test race race-par race-exec faults smoke obs bench bench-all check clean
+.PHONY: all build vet test race race-par race-exec race-vec spill-smoke faults smoke obs bench bench-all check clean
 
 all: vet build test
 
 # The full pre-merge gauntlet: static checks, build, the tier-1 test
 # suite, the fault-injection suite under the race detector, the
-# observability smoke, and both benchmark regression gates.
-check: vet build test faults obs bench
+# observability smoke, the low-budget spill smoke, and both benchmark
+# regression gates.
+check: vet build test faults obs spill-smoke bench
 
 build:
 	$(GO) build ./...
@@ -36,6 +37,21 @@ race-par:
 # join equivalence/determinism suite and the forced-collision tests.
 race-exec:
 	$(GO) test -race -run 'TestPartitioned|TestJoinExecParallel|TestRunParallel|TestColliding|TestHashJoinCollision|TestGroupByCollisions|TestDistinctAggCollisions|TestGenSelMGOJCollisions' \
+		./internal/executor/
+
+# Focused race run for the vectorized engine and the spill path: the
+# Run ≡ RunParallel ≡ RunVectorized property suite across batch sizes,
+# the columnar batch kernels, and the grace spill equivalence /
+# determinism / recursion tests.
+race-vec:
+	$(GO) test -race -run 'TestVectorized|TestExecutorSpill|TestBatch|TestVec' \
+		./internal/executor/ ./internal/batch/
+
+# Low-MaxBytes spill smoke: the vectorized join must escape to the
+# disk-backed grace join and complete — with spill counters moving —
+# under a byte budget the in-memory build cannot fit.
+spill-smoke:
+	$(GO) test -run 'TestVectorizedSpills|TestExecutorSpillCompletesWhereInMemoryTrips' \
 		./internal/executor/
 
 # Resource-governance and fault-injection suite under the race

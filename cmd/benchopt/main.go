@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"testing"
 
@@ -174,12 +175,22 @@ func main() {
 	tolerance := flag.Float64("tolerance", 1.10, "max allowed candidate/baseline time ratio before failing")
 	guardTolerance := flag.Float64("guard-tolerance", 1.02, "max allowed guarded/unguarded time ratio (guard overhead budget)")
 	obsTolerance := flag.Float64("obs-tolerance", 1.02, "max allowed observed/plain time ratio (observability overhead budget)")
+	workload := flag.String("workload", "", "only measure workloads whose name matches this regexp; gates and ratios on skipped workloads are skipped")
 	flag.Parse()
+	filter, err := regexp.Compile(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchopt: bad -workload:", err)
+		os.Exit(2)
+	}
+	skip := func(name string) bool { return *workload != "" && !filter.MatchString(name) }
 
 	fmt.Printf("benchopt: GOMAXPROCS=%d %s\n", runtime.GOMAXPROCS(0), runtime.Version())
 	var results []benchgate.Result
 	deltas := map[string]map[string]int64{}
 	measure := func(name string, f func(b *testing.B)) benchgate.Result {
+		if skip(name) {
+			return benchgate.Result{}
+		}
 		var res benchgate.Result
 		if d := benchgate.Deltas(func() { res = benchgate.Run(name, &results, f) }); d != nil {
 			deltas[name] = d
@@ -187,11 +198,28 @@ func main() {
 		return res
 	}
 	measureBest := func(name string, rounds int, f func(b *testing.B)) benchgate.Result {
+		if skip(name) {
+			return benchgate.Result{}
+		}
 		var res benchgate.Result
 		if d := benchgate.Deltas(func() { res = benchgate.RunBest(name, &results, rounds, f) }); d != nil {
 			deltas[name] = d
 		}
 		return res
+	}
+	// ratio is a/b, or 0 when either side was filtered out — report
+	// fields must stay finite for JSON.
+	ratio := func(a, b benchgate.Result) float64 {
+		if a.Iterations == 0 || b.Iterations == 0 {
+			return 0
+		}
+		return a.MsPerOp / b.MsPerOp
+	}
+	seedRatio := func(seedMs float64, r benchgate.Result) float64 {
+		if r.Iterations == 0 {
+			return 0
+		}
+		return seedMs / r.MsPerOp
 	}
 
 	q5 := experiments.Q5()
@@ -228,46 +256,50 @@ func main() {
 	fmt.Printf("memo.pruned on Q5: %d extraction candidates cut by branch-and-bound\n", memoPruned)
 
 	closure := core.Saturate(q5, core.SaturateOptions{MaxPlans: 10000})
-	costCold := benchgate.Run("CostClosure/estimator", &results, func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			for _, p := range closure {
-				if _, err := est.PlanCost(p); err != nil {
-					b.Fatal(err)
-				}
-				if _, err := est.Rows(p); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}
-	})
-	costMemo := benchgate.Run("CostClosure/session", &results, func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			sess := est.NewSession(nil)
-			for _, p := range closure {
-				if _, err := sess.PlanCost(p); err != nil {
-					b.Fatal(err)
-				}
-				if _, err := sess.Rows(p); err != nil {
-					b.Fatal(err)
+	costCold := benchgate.Result{}
+	costMemo := benchgate.Result{}
+	if !skip("CostClosure") {
+		costCold = benchgate.Run("CostClosure/estimator", &results, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, p := range closure {
+					if _, err := est.PlanCost(p); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := est.Rows(p); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
-		}
-	})
+		})
+		costMemo = benchgate.Run("CostClosure/session", &results, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sess := est.NewSession(nil)
+				for _, p := range closure {
+					if _, err := sess.PlanCost(p); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := sess.Rows(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
 
 	rep := report{
 		Header:            benchgate.NewHeader(seeds, results),
-		SpeedupQ5Serial:   seeds[0].MsPerOp / serialQ5.MsPerOp,
-		SpeedupQ5Parallel: seeds[0].MsPerOp / parQ5.MsPerOp,
-		SpeedupCostMemo:   costCold.MsPerOp / costMemo.MsPerOp,
-		SpeedupMemoQ5:     satOptQ5.MsPerOp / memOptQ5.MsPerOp,
-		SpeedupMemoChain7: satOptChain.MsPerOp / memOptChain.MsPerOp,
+		SpeedupQ5Serial:   seedRatio(seeds[0].MsPerOp, serialQ5),
+		SpeedupQ5Parallel: seedRatio(seeds[0].MsPerOp, parQ5),
+		SpeedupCostMemo:   ratio(costCold, costMemo),
+		SpeedupMemoQ5:     ratio(satOptQ5, memOptQ5),
+		SpeedupMemoChain7: ratio(satOptChain, memOptChain),
 		MemoPrunedQ5:      memoPruned,
 
-		GuardOverheadQ5:     memOptQ5G.MsPerOp / memOptQ5.MsPerOp,
-		GuardOverheadChain7: memOptChainG.MsPerOp / memOptChain.MsPerOp,
-		ObsOverheadQ5:       memOptQ5O.MsPerOp / memOptQ5.MsPerOp,
+		GuardOverheadQ5:     ratio(memOptQ5G, memOptQ5),
+		GuardOverheadChain7: ratio(memOptChainG, memOptChain),
+		ObsOverheadQ5:       ratio(memOptQ5O, memOptQ5),
 		CounterDeltas:       deltas,
 	}
 	if err := benchgate.WriteJSON(*out, rep); err != nil {
@@ -291,7 +323,7 @@ func main() {
 	// The guard gates hold the overhead of an untripped budget — the
 	// always-on production cost of resource governance — under the
 	// guard tolerance (2% by default) on the memo workloads.
-	err := benchgate.Check(
+	err = benchgate.Check(
 		benchgate.Gate{Label: "parallel SaturateQ5 vs serial", Candidate: parQ5, Baseline: serialQ5, Tolerance: *tolerance},
 		benchgate.Gate{Label: "memo OptimizeQ5 vs saturation", Candidate: memOptQ5, Baseline: satOptQ5, Tolerance: *tolerance},
 		benchgate.Gate{Label: "memo OptimizeChain7 vs saturation", Candidate: memOptChain, Baseline: satOptChain, Tolerance: *tolerance},

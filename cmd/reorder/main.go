@@ -61,10 +61,12 @@ type options struct {
 	stats         bool
 	trace         bool
 	statsJSON     bool
+	vec           bool
 	workers       int
 	timeout       time.Duration
 	maxExprs      int64
 	maxRows       int64
+	maxBytes      int64
 	metricsAddr   string
 	metricsLinger time.Duration
 	slowQuery     time.Duration
@@ -81,7 +83,7 @@ func (o options) wantAnalyze() bool {
 }
 
 func (o options) limits() reorder.Limits {
-	return reorder.Limits{MaxExprs: o.maxExprs, MaxRows: o.maxRows}
+	return reorder.Limits{MaxExprs: o.maxExprs, MaxRows: o.maxRows, MaxBytes: o.maxBytes}
 }
 
 // context returns the run's context, bounded by -timeout when set.
@@ -123,10 +125,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&o.stats, "stats", false, "execute instrumented and print an EXPLAIN ANALYZE report")
 	fs.BoolVar(&o.trace, "trace", false, "print the optimizer/executor span trace")
 	fs.BoolVar(&o.statsJSON, "statsjson", false, "dump the EXPLAIN ANALYZE report as JSON")
+	fs.BoolVar(&o.vec, "vec", false, "execute on the columnar vectorized engine (joins spill to disk under -max-bytes pressure)")
 	fs.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "goroutines for plan enumeration and costing (1 = serial; the result is identical for any value)")
 	fs.DurationVar(&o.timeout, "timeout", 0, "wall-clock budget for the whole run (0 = unlimited); exceeding it exits 3")
 	fs.Int64Var(&o.maxExprs, "max-exprs", 0, "cap on enumerated plan expressions (0 = unlimited); tripping it degrades to a best-effort plan, exit 0")
 	fs.Int64Var(&o.maxRows, "max-rows", 0, "cap on intermediate rows during execution (0 = unlimited); tripping it exits 3")
+	fs.Int64Var(&o.maxBytes, "max-bytes", 0, "cap on modeled intermediate bytes during execution (0 = unlimited); with -vec, oversized joins spill to disk instead of tripping")
 	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics (Prometheus text) and /debug/queries (flight JSON) on this address during the run; implies an instrumented run")
 	fs.DurationVar(&o.metricsLinger, "metrics-linger", 0, "keep the metrics server up this long after the run finishes (0 = close immediately)")
 	fs.DurationVar(&o.slowQuery, "slow-query", 100*time.Millisecond, "flight-recorder slow-query threshold (0 disables slow stamping)")
@@ -307,7 +311,7 @@ func query2DB() reorder.Database {
 // analyze optimizes node, executes it instrumented under the run's
 // budget and prints the requested views of the report.
 func analyze(ctx context.Context, node reorder.Node, db reorder.Database, o options, stdout, stderr io.Writer) int {
-	rep, err := reorder.ExplainAnalyzeObserved(ctx, node, db, o.workers, o.limits(), o.obs)
+	rep, err := reorder.ExplainAnalyzeObservedEngine(ctx, node, db, o.workers, o.limits(), o.obs, o.vec)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return exitFor(err)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/obs/flight"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
+	"repro/internal/relation"
 	"repro/internal/stats"
 )
 
@@ -38,6 +39,7 @@ type AnalyzeReport struct {
 	OriginalCost float64            `json:"originalCost"`
 	BestCost     float64            `json:"bestCost"`
 	RowsOut      int                `json:"rowsOut"`
+	Engine       string             `json:"engine,omitempty"`   // execution engine: "tuple" (default) or "vector"
 	Degraded     string             `json:"degraded,omitempty"` // non-empty when a budget trip truncated enumeration
 	Phases       []PhaseNs          `json:"phases,omitempty"`
 	RuleFirings  map[string]int     `json:"ruleFirings,omitempty"`
@@ -64,7 +66,25 @@ func ExplainAnalyze(q Node, db Database) (*AnalyzeReport, error) {
 // (0 or 1 serial, < 0 GOMAXPROCS). The report is identical for any
 // worker count; only the phase wall times change.
 func ExplainAnalyzeWorkers(q Node, db Database, workers int) (*AnalyzeReport, error) {
-	return explainAnalyze(q, db, workers, nil, obs.NewRegistry(), nil)
+	return explainAnalyze(q, db, workers, nil, obs.NewRegistry(), nil, false)
+}
+
+// ExplainAnalyzeVectorized is ExplainAnalyze with the chosen plan
+// executed on the columnar vectorized engine instead of the tuple
+// engine. The report's per-operator annotations carry the vectorized
+// extras — spill partitions/bytes/recursions and the
+// exec.vector.fallback.* counters land in the metrics snapshot — and
+// Engine is "vector".
+func ExplainAnalyzeVectorized(q Node, db Database) (*AnalyzeReport, error) {
+	return explainAnalyze(q, db, 0, nil, obs.NewRegistry(), nil, true)
+}
+
+// ExplainAnalyzeVectorizedBudget is ExplainAnalyzeBudget on the
+// vectorized engine; joins whose build side exceeds the byte budget's
+// headroom spill to disk instead of aborting.
+func ExplainAnalyzeVectorizedBudget(ctx context.Context, q Node, db Database, workers int, l Limits) (*AnalyzeReport, error) {
+	reg := obs.NewRegistry()
+	return explainAnalyze(q, db, workers, guard.New(ctx, l, reg), reg, nil, true)
 }
 
 // ExplainAnalyzeBudget is ExplainAnalyze under resource governance:
@@ -75,7 +95,7 @@ func ExplainAnalyzeWorkers(q Node, db Database, workers int) (*AnalyzeReport, er
 // the report's private registry.
 func ExplainAnalyzeBudget(ctx context.Context, q Node, db Database, workers int, l Limits) (*AnalyzeReport, error) {
 	reg := obs.NewRegistry()
-	return explainAnalyze(q, db, workers, guard.New(ctx, l, reg), reg, nil)
+	return explainAnalyze(q, db, workers, guard.New(ctx, l, reg), reg, nil, false)
 }
 
 // explainAnalyze runs the optimize→execute pipeline against a private
@@ -83,7 +103,7 @@ func ExplainAnalyzeBudget(ctx context.Context, q Node, db Database, workers int,
 // Observer is attached, folds the run into the process-wide aggregate:
 // the private registry merges into ob.Registry and one flight.Record —
 // including the per-operator q-error rows — lands in ob.Flight.
-func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.Registry, ob *Observer) (*AnalyzeReport, error) {
+func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.Registry, ob *Observer, vec bool) (*AnalyzeReport, error) {
 	start := time.Now()
 	tracer := obs.NewTracer()
 	est := stats.NewEstimator(stats.FromDatabase(db))
@@ -100,7 +120,13 @@ func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.
 
 	execSpan := tracer.Start("execute")
 	execStart := time.Now()
-	out, ann, err := executor.RunInstrumentedGuarded(res.Best.Plan, db, reg, b)
+	var out *relation.Relation
+	var ann plan.Annotations
+	if vec {
+		out, ann, err = executor.RunVectorizedInstrumented(res.Best.Plan, db, reg, b)
+	} else {
+		out, ann, err = executor.RunInstrumentedGuarded(res.Best.Plan, db, reg, b)
+	}
 	execNs := time.Since(execStart).Nanoseconds()
 	execSpan.End()
 	if err != nil {
@@ -148,6 +174,7 @@ func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.
 		OriginalCost: res.Original.Cost,
 		BestCost:     res.Best.Cost,
 		RowsOut:      out.Len(),
+		Engine:       engineName(vec),
 		Degraded:     res.Degraded,
 		RuleFirings:  res.RuleFirings,
 		Metrics:      reg.Snapshot(),
@@ -161,6 +188,15 @@ func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.
 	}
 	ob.record(q, res.Best.Plan, res, reg, b, start, execNs, nil, out.Len(), ops)
 	return r, nil
+}
+
+// engineName is the stable engine label benchmark baselines and
+// reports key by.
+func engineName(vec bool) string {
+	if vec {
+		return "vector"
+	}
+	return "tuple"
 }
 
 // JSON serializes the report; DecodeAnalyzeReport inverts it.
@@ -193,6 +229,9 @@ func (r *AnalyzeReport) String() string {
 	fmt.Fprintf(&b, "original cost:    %.1f\n", r.OriginalCost)
 	fmt.Fprintf(&b, "best cost:        %.1f\n", r.BestCost)
 	fmt.Fprintf(&b, "rows returned:    %d\n", r.RowsOut)
+	if r.Engine != "" {
+		fmt.Fprintf(&b, "engine:           %s\n", r.Engine)
+	}
 	if r.Degraded != "" {
 		fmt.Fprintf(&b, "degraded:         %s (best-effort plan, not the full-class optimum)\n", r.Degraded)
 	}

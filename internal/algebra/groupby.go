@@ -128,8 +128,11 @@ func (s *valueSet) add(v value.Value) bool {
 	return true
 }
 
-// aggState accumulates one aggregate within one group.
-type aggState struct {
+// AggState accumulates one aggregate within one group. It is
+// exported so the vectorized executor's generic aggregation path
+// shares this exact accumulator — distinct tracking, INT/FLOAT sum
+// promotion and empty-group results cannot drift between engines.
+type AggState struct {
 	n        int64
 	sumI     int64
 	sumF     float64
@@ -138,15 +141,18 @@ type aggState struct {
 	seen     *valueSet
 }
 
-func newAggState(f AggFunc) *aggState {
-	s := &aggState{min: value.Null, max: value.Null}
+// NewAggState returns an empty accumulator for the function.
+func NewAggState(f AggFunc) *AggState {
+	s := &AggState{min: value.Null, max: value.Null}
 	if f.DuplicateInsensitive() && f != Min && f != Max {
 		s.seen = &valueSet{buckets: make(map[uint64][]value.Value)}
 	}
 	return s
 }
 
-func (s *aggState) add(f AggFunc, v value.Value) {
+// Add folds one row's argument value into the accumulator. NULL is
+// ignored for every function except COUNT(*), where v is unused.
+func (s *AggState) Add(f AggFunc, v value.Value) {
 	if f == CountStar {
 		s.n++
 		return
@@ -182,7 +188,8 @@ func (s *aggState) add(f AggFunc, v value.Value) {
 	}
 }
 
-func (s *aggState) result(f AggFunc, nullIfEmpty bool) value.Value {
+// Result finalizes the accumulator into the group's output value.
+func (s *AggState) Result(f AggFunc, nullIfEmpty bool) value.Value {
 	switch f {
 	case CountStar, Count, CountDistinct:
 		if s.n == 0 && nullIfEmpty {
@@ -233,7 +240,7 @@ func GroupProject(groupBy []schema.Attribute, aggs []Aggregate, r *relation.Rela
 
 	type group struct {
 		key    relation.Tuple
-		states []*aggState
+		states []*AggState
 	}
 	// Groups bucket by the key tuple's 64-bit hash with EqualTuple
 	// verification; the scratch key is cloned only when it opens a new
@@ -256,9 +263,9 @@ func GroupProject(groupBy []schema.Attribute, aggs []Aggregate, r *relation.Rela
 			}
 		}
 		if g == nil {
-			g = &group{key: scratch.Clone(), states: make([]*aggState, len(aggs))}
+			g = &group{key: scratch.Clone(), states: make([]*AggState, len(aggs))}
 			for i, a := range aggs {
-				g.states[i] = newAggState(a.Func)
+				g.states[i] = NewAggState(a.Func)
 			}
 			groups[h] = append(groups[h], g)
 			order = append(order, g)
@@ -269,7 +276,7 @@ func GroupProject(groupBy []schema.Attribute, aggs []Aggregate, r *relation.Rela
 			if a.Arg != nil {
 				v = a.Arg.Eval(env)
 			}
-			g.states[i].add(a.Func, v)
+			g.states[i].Add(a.Func, v)
 		}
 	}
 
@@ -278,7 +285,7 @@ func GroupProject(groupBy []schema.Attribute, aggs []Aggregate, r *relation.Rela
 	if len(groups) == 0 && len(groupBy) == 0 && len(aggs) > 0 {
 		row := make(relation.Tuple, 0, len(aggs))
 		for _, a := range aggs {
-			row = append(row, newAggState(a.Func).result(a.Func, a.NullIfEmpty))
+			row = append(row, NewAggState(a.Func).Result(a.Func, a.NullIfEmpty))
 		}
 		out.Append(row)
 		return out
@@ -288,7 +295,7 @@ func GroupProject(groupBy []schema.Attribute, aggs []Aggregate, r *relation.Rela
 		row := make(relation.Tuple, 0, len(outAttrs))
 		row = append(row, g.key...)
 		for i, a := range aggs {
-			row = append(row, g.states[i].result(a.Func, a.NullIfEmpty))
+			row = append(row, g.states[i].Result(a.Func, a.NullIfEmpty))
 		}
 		out.Append(row)
 	}

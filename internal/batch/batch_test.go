@@ -1,0 +1,169 @@
+package batch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// randRel builds a relation exercising every physical column kind plus
+// a mixed column, with ~12% NULLs sprinkled everywhere.
+func randRel(t *testing.T, rows int, seed int64) *relation.Relation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := relation.NewBuilder("t", "i", "f", "s", "b", "mix")
+	for r := 0; r < rows; r++ {
+		mk := func(v value.Value) value.Value {
+			if rng.Intn(8) == 0 {
+				return value.Null
+			}
+			return v
+		}
+		var mixed value.Value
+		switch rng.Intn(3) {
+		case 0:
+			mixed = value.NewInt(rng.Int63n(50))
+		case 1:
+			mixed = value.NewString("m")
+		default:
+			mixed = value.NewFloat(rng.Float64())
+		}
+		b.Row(
+			mk(value.NewInt(rng.Int63n(100))),
+			mk(value.NewFloat(rng.NormFloat64())),
+			mk(value.NewString(string(rune('a'+rng.Intn(26))))),
+			mk(value.NewBool(rng.Intn(2) == 0)),
+			mk(mixed),
+		)
+	}
+	return b.Relation()
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	in := randRel(t, 300, 1)
+	col := FromRelation(in)
+	if col.N != in.Len() {
+		t.Fatalf("N = %d, want %d", col.N, in.Len())
+	}
+	// Monomorphic columns get typed representations; the mixed column
+	// degrades to PhysAny. Column order: i f s b mix #rid.
+	want := []Phys{PhysInt, PhysFloat, PhysStr, PhysBool, PhysAny, PhysInt}
+	for c, p := range want {
+		if col.Cols[c].Phys != p {
+			t.Errorf("col %d phys = %s, want %s", c, col.Cols[c].Phys, p)
+		}
+	}
+	out := col.ToRelation()
+	if !in.EqualAsMultisets(out) {
+		t.Fatal("round trip is not multiset-identical")
+	}
+	// Exact value identity row by row, not just multiset equality.
+	for i, tup := range in.Tuples() {
+		if !tup.EqualTuple(out.Tuple(i)) {
+			t.Fatalf("row %d changed: %v vs %v", i, tup, out.Tuple(i))
+		}
+		if !tup.EqualTuple(col.Tuple(i)) {
+			t.Fatalf("Tuple(%d) changed", i)
+		}
+	}
+}
+
+func TestBatchKeyHashesMatchTupleHashOn(t *testing.T) {
+	in := randRel(t, 200, 2)
+	col := FromRelation(in)
+	idx := []int{0, 2, 4} // int, string, mixed — includes NULLs
+	hs, ok := col.KeyHashes(idx, false)
+	for i, tup := range in.Tuples() {
+		th, tok := tup.HashOn(idx)
+		if ok[i] != tok {
+			t.Fatalf("row %d: ok=%v, tuple ok=%v", i, ok[i], tok)
+		}
+		if tok && hs[i] != th {
+			t.Fatalf("row %d: hash %x, tuple hash %x", i, hs[i], th)
+		}
+	}
+	// Grouping form: NULL participates; hash must match the boxed
+	// HashCombine chain with HashNull for NULL slots.
+	ghs, gok := col.KeyHashes(idx, true)
+	for i, tup := range in.Tuples() {
+		if !gok[i] {
+			t.Fatalf("row %d: grouping hash not ok", i)
+		}
+		h := value.HashSeed
+		for _, c := range idx {
+			h = value.HashCombine(h, tup[c].Hash64())
+		}
+		if ghs[i] != h {
+			t.Fatalf("row %d: grouping hash %x, want %x", i, ghs[i], h)
+		}
+	}
+}
+
+func TestBatchGatherPadsNulls(t *testing.T) {
+	in := randRel(t, 50, 3)
+	col := FromRelation(in)
+	sel := []int32{4, -1, 0, 49, -1}
+	for c := range col.Cols {
+		g := col.Cols[c].Gather(sel)
+		for i, s := range sel {
+			var want value.Value
+			if s >= 0 {
+				want = col.Cols[c].At(int(s))
+			} else {
+				want = value.Null
+			}
+			if !value.Equal(g.At(i), want) {
+				t.Fatalf("col %d row %d: got %v, want %v", c, i, g.At(i), want)
+			}
+		}
+	}
+}
+
+func TestBatchEqualRows(t *testing.T) {
+	// INT and FLOAT columns holding the same numeric value must compare
+	// equal across physical kinds, exactly as value.Equal merges them.
+	iv := Vec{Phys: PhysInt, Ints: []int64{3, 7}}
+	fv := Vec{Phys: PhysFloat, Floats: []float64{3, 8}}
+	if !iv.EqualRows(0, &fv, 0) {
+		t.Fatal("INT 3 != FLOAT 3.0 across physical kinds")
+	}
+	if iv.EqualRows(1, &fv, 1) {
+		t.Fatal("7 == 8?")
+	}
+	nv := Vec{Phys: PhysInt, Ints: []int64{0, 5}}
+	nv.setNull(0, 2)
+	if !nv.IsNull(0) || nv.IsNull(1) {
+		t.Fatal("null bitmap wrong")
+	}
+	if nv.EqualRows(0, &iv, 0) {
+		t.Fatal("NULL == 3?")
+	}
+	nv2 := Vec{Phys: PhysStr, Strs: []string{""}}
+	nv2.setNull(0, 1)
+	if !nv.EqualRows(0, &nv2, 0) {
+		t.Fatal("NULL must be identical to NULL for grouping equality")
+	}
+}
+
+func TestBatchGather2PadsSides(t *testing.T) {
+	l := FromRelation(relation.NewBuilder("l", "x").
+		Row(value.NewInt(1)).Row(value.NewInt(2)).Relation())
+	r := FromRelation(relation.NewBuilder("r", "y").
+		Row(value.NewString("a")).Relation())
+	s := l.Schema.Concat(r.Schema)
+	out := Gather2(s, l, []int32{0, 1, -1}, r, []int32{0, -1, 0})
+	if out.N != 3 {
+		t.Fatalf("N = %d", out.N)
+	}
+	rel := out.ToRelation()
+	// Row 1: left row 1 padded on the right; row 2: right row 0 padded
+	// on the left.
+	if !rel.Tuple(1)[2].IsNull() || !rel.Tuple(2)[0].IsNull() {
+		t.Fatalf("padding missing: %v", rel.Tuples())
+	}
+	if rel.Tuple(0)[0].Int() != 1 || rel.Tuple(0)[2].Str() != "a" {
+		t.Fatalf("inner row wrong: %v", rel.Tuple(0))
+	}
+}

@@ -18,6 +18,7 @@ import (
 // Result is one workload's measurement.
 type Result struct {
 	Name        string  `json:"name"`
+	Engine      string  `json:"engine,omitempty"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     int64   `json:"nsPerOp"`
 	BytesPerOp  int64   `json:"bytesPerOp"`
@@ -28,6 +29,7 @@ type Result struct {
 // SeedBaseline is a pre-change measurement kept for comparison.
 type SeedBaseline struct {
 	Name        string  `json:"name"`
+	Engine      string  `json:"engine,omitempty"`
 	MsPerOp     float64 `json:"msPerOp"`
 	BytesPerOp  int64   `json:"bytesPerOp"`
 	AllocsPerOp int64   `json:"allocsPerOp"`
@@ -56,9 +58,18 @@ func NewHeader(seeds []SeedBaseline, results []Result) Header {
 // Run measures one workload through testing.Benchmark, appends the
 // result to results, and echoes a human-readable line.
 func Run(name string, results *[]Result, f func(b *testing.B)) Result {
+	return RunEngine(name, "", results, f)
+}
+
+// RunEngine is Run with the result stamped with the execution engine
+// that produced it ("tuple", "vector", "spill"). Engine-specific
+// workloads record it so their numbers are never gated against a
+// different engine's baselines by accident.
+func RunEngine(name, engine string, results *[]Result, f func(b *testing.B)) Result {
 	r := testing.Benchmark(f)
 	res := Result{
 		Name:        name,
+		Engine:      engine,
 		Iterations:  r.N,
 		NsPerOp:     r.NsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
@@ -111,8 +122,14 @@ type Gate struct {
 
 // Check evaluates the gates in order and returns an error describing
 // the first failure, or nil when every candidate is within tolerance.
+// Gates whose candidate or baseline has zero iterations are skipped:
+// a zero-iteration Result means the workload was filtered out with
+// -workload and there is nothing to compare.
 func Check(gates ...Gate) error {
 	for _, g := range gates {
+		if g.Candidate.Iterations == 0 || g.Baseline.Iterations == 0 {
+			continue
+		}
 		if ratio := g.Candidate.MsPerOp / g.Baseline.MsPerOp; ratio > g.Tolerance {
 			return fmt.Errorf("FAIL %s is %.2fx the baseline time (tolerance %.2fx)",
 				g.Label, ratio, g.Tolerance)

@@ -225,6 +225,10 @@ type joinProbe struct {
 	Partitions    int  // grace partitions (0 = unpartitioned)
 	ArenaChunks   int  // output arena slabs allocated
 	NestedLoop    bool // true when no equi conjunct was hashable
+
+	SpillParts      int   // partition files written to disk
+	SpillBytes      int64 // bytes written to spill files
+	SpillRecursions int   // recursive re-partitionings
 }
 
 // flushArenas folds arena totals into the probe and the process-wide
@@ -280,6 +284,16 @@ func joinExecProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, 
 	for i, k := range keys {
 		li[i], ri[i] = k.li, k.ri
 	}
+	// Reserve the build side's modeled resident footprint before
+	// materializing the hash table: under a MaxBytes budget an
+	// oversized build trips typed here, which is exactly the abort the
+	// spilling grace join (spill.go) exists to avoid — it reserves
+	// per-partition footprints that fit instead.
+	buildRes := estBytes(r.Len(), rs.Len())
+	if err := b.ReserveBytes(buildRes); err != nil {
+		return nil, err
+	}
+	defer b.ReleaseBytes(buildRes)
 	// Build on the right input, bucketed by 64-bit key hash.
 	build := make(map[uint64][]int, r.Len())
 	for j, t := range r.Tuples() {

@@ -47,6 +47,12 @@ func execEntries() []execEntry {
 		{"joinpar", func(db plan.Database, b *guard.Budget) (*relation.Relation, error) {
 			return JoinExecParallelGuarded(plan.InnerJoin, eqX("r1", "r2"), db["r1"], db["r2"], 3, b)
 		}},
+		// The spilling grace join always writes and reads partition
+		// files (even unbudgeted), so the matrix arms the spill
+		// write/read fault points through this entry.
+		{"spill", func(db plan.Database, b *guard.Budget) (*relation.Relation, error) {
+			return JoinExecSpill(plan.InnerJoin, eqX("r1", "r2"), db["r1"], db["r2"], b, SpillOptions{})
+		}},
 	}
 }
 

@@ -154,6 +154,13 @@ func recordJoinProbe(a *plan.Annotation, st *joinProbe, reg *obs.Registry) {
 	if st.NestedLoop {
 		a.AddExtra("nested_loop", 1)
 	}
+	if st.SpillParts > 0 {
+		a.AddExtra("spill_partitions", int64(st.SpillParts))
+		a.AddExtra("spill_bytes", st.SpillBytes)
+	}
+	if st.SpillRecursions > 0 {
+		a.AddExtra("spill_recursions", int64(st.SpillRecursions))
+	}
 	reg.Counter("executor.hash_build_rows").Add(int64(st.BuildRows))
 	reg.Counter("executor.residual_evals").Add(int64(st.ResidualEvals))
 	reg.Counter("executor.null_padded").Add(int64(st.NullPadded))

@@ -61,11 +61,28 @@ func partitionedJoinProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Rel
 		reg.Counter("exec.partition.fallback.small").Inc()
 		return joinExecProbe(kind, pred, l, r, st, b)
 	}
+	// Out-of-core escape: when the build side's modeled footprint
+	// cannot fit the byte budget's remaining headroom, the in-memory
+	// partitioned join would trip — spill to disk and recurse instead.
+	if free, limited := b.BytesFree(); limited {
+		if need := estBytes(r.Len(), rs.Len()); 2*need > free {
+			reg.Counter("exec.partition.spill").Inc()
+			return spillJoinProbe(kind, pred, l, r, st, b, reg, SpillOptions{})
+		}
+	}
 	li := make([]int, len(keys))
 	ri := make([]int, len(keys))
 	for i, k := range keys {
 		li[i], ri[i] = k.li, k.ri
 	}
+
+	// The spill check above guarantees this reservation fits (or the
+	// budget is unlimited and it no-ops).
+	buildRes := estBytes(r.Len(), rs.Len())
+	if err := b.ReserveBytes(buildRes); err != nil {
+		return nil, err
+	}
+	defer b.ReleaseBytes(buildRes)
 
 	P := nextPow2(workers)
 	reg.Counter("exec.partition.joins").Inc()

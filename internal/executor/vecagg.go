@@ -1,0 +1,568 @@
+package executor
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/batch"
+	"repro/internal/expr"
+	"repro/internal/guard"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// This file holds the unary columnar kernels: selection, (distinct)
+// projection and grouped aggregation.
+
+// vecSelect filters batch-at-a-time. The predicate is split into
+// conjuncts; each conjunct that is a comparison over resolvable
+// columns compiles to a typed kernel (int64/float64/string loops over
+// the column payloads, boxed value.Apply otherwise), and anything else
+// — disjunctions, arithmetic, unresolved columns — evaluates row-wise
+// through the same TupleEnv the tuple engine uses, so three-valued
+// semantics cannot diverge. Selection vectors stay ascending, so
+// vecSelect preserves input order exactly like algebra.Select.
+func (e *vecEngine) vecSelect(pred expr.Pred, in *batch.Rel) (*batch.Rel, error) {
+	conjs := expr.Conjuncts(pred)
+	kernels := make([]func([]int32) []int32, 0, len(conjs))
+	for _, c := range conjs {
+		if _, ok := c.(expr.True); ok {
+			continue
+		}
+		kernels = append(kernels, e.compileConjunct(c, in))
+	}
+	if len(kernels) == 0 {
+		return in, nil
+	}
+	sel := make([]int32, 0, in.N)
+	chunk := make([]int32, 0, e.batch)
+	for lo := 0; lo < in.N; lo += e.batch {
+		if err := guard.Hit(guard.PointExecBatch); err != nil {
+			return nil, err
+		}
+		if err := e.b.Err(); err != nil {
+			return nil, err
+		}
+		hi := min(lo+e.batch, in.N)
+		chunk = chunk[:0]
+		for i := lo; i < hi; i++ {
+			chunk = append(chunk, int32(i))
+		}
+		cand := chunk
+		for _, k := range kernels {
+			if cand = k(cand); len(cand) == 0 {
+				break
+			}
+		}
+		sel = append(sel, cand...)
+	}
+	if len(sel) == in.N {
+		return in, nil
+	}
+	return in.Select(sel), nil
+}
+
+// keepCmp applies a comparison operator to an already-ordered pair.
+func keepCmp[T int64 | float64 | string](op value.CmpOp, a, b T) bool {
+	switch op {
+	case value.EQ:
+		return a == b
+	case value.NE:
+		return a != b
+	case value.LT:
+		return a < b
+	case value.LE:
+		return a <= b
+	case value.GT:
+		return a > b
+	case value.GE:
+		return a >= b
+	}
+	return false
+}
+
+// compileConjunct turns one conjunct into a selection-vector filter.
+// The returned kernel compacts sel in place, keeping rows where the
+// conjunct is True (three-valued: Unknown filters, same as the tuple
+// engine's Holds()).
+func (e *vecEngine) compileConjunct(p expr.Pred, in *batch.Rel) func([]int32) []int32 {
+	if c, ok := p.(expr.Cmp); ok {
+		if k := e.compileCmp(c, in); k != nil {
+			return k
+		}
+	}
+	// Generic conjunct: row-wise three-valued evaluation over a scratch
+	// tuple. Counted so plans stuck on the slow path are visible.
+	e.reg.Counter("exec.vector.select.generic").Inc()
+	env := expr.TupleEnv{Schema: in.Schema}
+	scratch := make(relation.Tuple, in.Schema.Len())
+	return func(sel []int32) []int32 {
+		out := sel[:0]
+		for _, s := range sel {
+			in.ReadTuple(int(s), scratch)
+			env.Tuple = scratch
+			if p.Eval(env).Holds() {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+}
+
+// compileCmp builds a typed kernel for a comparison conjunct, or nil
+// when its operands are not resolvable columns/constants.
+func (e *vecEngine) compileCmp(c expr.Cmp, in *batch.Rel) func([]int32) []int32 {
+	op := c.Op
+	l, r := c.L, c.R
+	// Normalize const-vs-column to column-vs-const.
+	if _, ok := l.(expr.Const); ok {
+		if _, ok := r.(expr.Col); ok {
+			l, r, op = r, l, op.Flip()
+		}
+	}
+	switch lc := l.(type) {
+	case expr.Col:
+		ci := in.Schema.IndexOf(lc.Attr)
+		if ci < 0 {
+			return nil
+		}
+		v := &in.Cols[ci]
+		switch rc := r.(type) {
+		case expr.Const:
+			return e.colConstKernel(op, v, rc.Val)
+		case expr.Col:
+			cj := in.Schema.IndexOf(rc.Attr)
+			if cj < 0 {
+				return nil
+			}
+			return e.colColKernel(op, v, &in.Cols[cj])
+		}
+	}
+	return nil
+}
+
+// colConstKernel compares one column against a literal. Monomorphic
+// columns whose physical kind matches the literal run branch-light
+// typed loops; everything else (PhysAny, INT column vs FLOAT literal,
+// …) boxes through value.Apply, which carries the exact NULL and
+// cross-kind comparison semantics.
+func (e *vecEngine) colConstKernel(op value.CmpOp, v *batch.Vec, cv value.Value) func([]int32) []int32 {
+	if cv.IsNull() {
+		// θ NULL is Unknown for every row: nothing qualifies.
+		return func(sel []int32) []int32 { return sel[:0] }
+	}
+	switch {
+	case v.Phys == batch.PhysInt && cv.Kind() == value.KindInt:
+		k := cv.Int()
+		return func(sel []int32) []int32 {
+			out := sel[:0]
+			for _, s := range sel {
+				if !v.IsNull(int(s)) && keepCmp(op, v.Ints[s], k) {
+					out = append(out, s)
+				}
+			}
+			return out
+		}
+	case v.Phys == batch.PhysFloat && cv.Kind() == value.KindFloat:
+		k := cv.Float()
+		return func(sel []int32) []int32 {
+			out := sel[:0]
+			for _, s := range sel {
+				if !v.IsNull(int(s)) && keepCmp(op, v.Floats[s], k) {
+					out = append(out, s)
+				}
+			}
+			return out
+		}
+	case v.Phys == batch.PhysStr && cv.Kind() == value.KindString:
+		k := cv.Str()
+		return func(sel []int32) []int32 {
+			out := sel[:0]
+			for _, s := range sel {
+				if !v.IsNull(int(s)) && keepCmp(op, v.Strs[s], k) {
+					out = append(out, s)
+				}
+			}
+			return out
+		}
+	default:
+		return func(sel []int32) []int32 {
+			out := sel[:0]
+			for _, s := range sel {
+				if value.Apply(op, v.At(int(s)), cv).Holds() {
+					out = append(out, s)
+				}
+			}
+			return out
+		}
+	}
+}
+
+// colColKernel compares two columns of the same relation row-wise.
+func (e *vecEngine) colColKernel(op value.CmpOp, a, b *batch.Vec) func([]int32) []int32 {
+	if a.Phys == b.Phys {
+		switch a.Phys {
+		case batch.PhysInt:
+			return func(sel []int32) []int32 {
+				out := sel[:0]
+				for _, s := range sel {
+					if !a.IsNull(int(s)) && !b.IsNull(int(s)) && keepCmp(op, a.Ints[s], b.Ints[s]) {
+						out = append(out, s)
+					}
+				}
+				return out
+			}
+		case batch.PhysFloat:
+			return func(sel []int32) []int32 {
+				out := sel[:0]
+				for _, s := range sel {
+					if !a.IsNull(int(s)) && !b.IsNull(int(s)) && keepCmp(op, a.Floats[s], b.Floats[s]) {
+						out = append(out, s)
+					}
+				}
+				return out
+			}
+		case batch.PhysStr:
+			return func(sel []int32) []int32 {
+				out := sel[:0]
+				for _, s := range sel {
+					if !a.IsNull(int(s)) && !b.IsNull(int(s)) && keepCmp(op, a.Strs[s], b.Strs[s]) {
+						out = append(out, s)
+					}
+				}
+				return out
+			}
+		}
+	}
+	return func(sel []int32) []int32 {
+		out := sel[:0]
+		for _, s := range sel {
+			if value.Apply(op, a.At(int(s)), b.At(int(s))).Holds() {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+}
+
+// vecProject projects to attrs. The non-distinct case is zero-copy:
+// the output relation shares the input's column vectors. DISTINCT
+// dedupes on the projected columns' key hashes (NULL identical to
+// NULL, like relation.Project's tuple set) keeping first occurrences
+// in input order.
+func (e *vecEngine) vecProject(attrs []schema.Attribute, distinct bool, in *batch.Rel) (*batch.Rel, error) {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		idx[i] = in.Schema.IndexOf(a)
+		if idx[i] < 0 {
+			panic(fmt.Sprintf("executor: project on missing attribute %s", a))
+		}
+	}
+	proj := &batch.Rel{Schema: schema.New(attrs...), Cols: make([]batch.Vec, len(idx)), N: in.N}
+	for i, j := range idx {
+		proj.Cols[i] = in.Cols[j]
+	}
+	if !distinct {
+		return proj, nil
+	}
+	all := make([]int, len(attrs))
+	for i := range all {
+		all[i] = i
+	}
+	hs, _ := proj.KeyHashes(all, true)
+	seen := make(map[uint64][]int32)
+	sel := make([]int32, 0, in.N)
+	for i := 0; i < in.N; i++ {
+		if err := e.checkBatch(i); err != nil {
+			return nil, err
+		}
+		h := hs[i]
+		dup := false
+		for _, j := range seen[h] {
+			if proj.EqualOn(i, proj, int(j), all, all) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[h] = append(seen[h], int32(i))
+		sel = append(sel, int32(i))
+	}
+	return proj.Select(sel), nil
+}
+
+// checkBatch fires the per-batch guard protocol every e.batch rows of
+// a row-indexed kernel loop.
+func (e *vecEngine) checkBatch(i int) error {
+	if i%e.batch != 0 {
+		return nil
+	}
+	if err := guard.Hit(guard.PointExecBatch); err != nil {
+		return err
+	}
+	return e.b.Err()
+}
+
+// vecGroupBy is the columnar generalized projection. Pass one
+// assigns every row a dense group id via the grouping keys' hashes
+// (NULL identical to NULL, groups in first-seen order — exactly
+// algebra.GroupProject's bucketing). Pass two accumulates each
+// aggregate with a per-aggregate loop over the typed column payloads:
+// COUNT(*), and COUNT/SUM/AVG/MIN/MAX over a monomorphic int or float
+// column, never box a value. Distinct aggregates, non-column
+// arguments and mixed-kind columns accumulate through the shared
+// algebra.AggState, so results are bit-identical to the tuple engine
+// (float sums fold in input order in both passes).
+func (e *vecEngine) vecGroupBy(keys []schema.Attribute, aggs []algebra.Aggregate, in *batch.Rel) (*batch.Rel, error) {
+	keyIdx := make([]int, len(keys))
+	for i, a := range keys {
+		keyIdx[i] = in.Schema.IndexOf(a)
+		if keyIdx[i] < 0 {
+			panic(fmt.Sprintf("executor: group-by attribute %s not in %s", a, in.Schema))
+		}
+	}
+	outAttrs := append([]schema.Attribute(nil), keys...)
+	for _, a := range aggs {
+		outAttrs = append(outAttrs, a.Out)
+	}
+	outSchema := schema.New(outAttrs...)
+
+	// Pass 1: dense group ids, first-seen order. The group table is
+	// open-addressed over the key hashes (cached per group, so probes
+	// compare a uint64 before EqualOn verifies) — no per-row map
+	// traffic.
+	hs, _ := in.KeyHashes(keyIdx, true)
+	groupOf := make([]int32, in.N)
+	var firstRow []int32
+	var ghash []uint64
+	P := nextPow2(2*in.N + 2)
+	mask := uint64(P - 1)
+	slots := make([]int32, P)
+	for i := range slots {
+		slots[i] = -1
+	}
+	for i := 0; i < in.N; i++ {
+		if err := e.checkBatch(i); err != nil {
+			return nil, err
+		}
+		h := hs[i]
+		s := h & mask
+		var g int32
+		for {
+			g = slots[s]
+			if g < 0 {
+				g = int32(len(firstRow))
+				firstRow = append(firstRow, int32(i))
+				ghash = append(ghash, h)
+				slots[s] = g
+				break
+			}
+			if ghash[g] == h && in.EqualOn(i, in, int(firstRow[g]), keyIdx, keyIdx) {
+				break
+			}
+			s = (s + 1) & mask
+		}
+		groupOf[i] = g
+	}
+	ngroups := len(firstRow)
+
+	// SQL: aggregation over an empty input with no GROUP BY columns
+	// produces a single row of "empty" aggregates.
+	if ngroups == 0 {
+		out := relation.New(outSchema)
+		if len(keys) == 0 && len(aggs) > 0 {
+			row := make(relation.Tuple, 0, len(aggs))
+			for _, a := range aggs {
+				row = append(row, algebra.NewAggState(a.Func).Result(a.Func, a.NullIfEmpty))
+			}
+			out.Append(row)
+		}
+		return batch.FromRelation(out), nil
+	}
+
+	// Pass 2: one accumulation loop per aggregate.
+	results := make([][]value.Value, len(aggs))
+	for ai, a := range aggs {
+		res, typed := e.vecAggTyped(a, in, groupOf, ngroups)
+		if !typed {
+			e.reg.Counter("exec.vector.agg.generic").Inc()
+			res = vecAggGeneric(a, in, groupOf, ngroups)
+		}
+		results[ai] = res
+	}
+
+	out := relation.New(outSchema)
+	w := len(keys) + len(aggs)
+	arena := make([]value.Value, ngroups*w)
+	rows := make([]relation.Tuple, ngroups)
+	for g := 0; g < ngroups; g++ {
+		row := relation.Tuple(arena[g*w : (g+1)*w : (g+1)*w])
+		for i, c := range keyIdx {
+			row[i] = in.Cols[c].At(int(firstRow[g]))
+		}
+		for ai := range aggs {
+			row[len(keys)+ai] = results[ai][g]
+		}
+		rows[g] = row
+	}
+	out.AppendAll(rows)
+	return batch.FromRelation(out), nil
+}
+
+// vecAggTyped accumulates one aggregate with unboxed loops when the
+// aggregate is COUNT(*) or a plain COUNT/SUM/AVG/MIN/MAX over a
+// monomorphic int or float column. Reports typed=false otherwise.
+func (e *vecEngine) vecAggTyped(a algebra.Aggregate, in *batch.Rel, groupOf []int32, ngroups int) ([]value.Value, bool) {
+	if a.Func == algebra.CountStar {
+		n := make([]int64, ngroups)
+		for _, g := range groupOf {
+			n[g]++
+		}
+		return finishCounts(n, a.NullIfEmpty), true
+	}
+	col, ok := a.Arg.(expr.Col)
+	if !ok {
+		return nil, false
+	}
+	ci := in.Schema.IndexOf(col.Attr)
+	if ci < 0 {
+		return nil, false
+	}
+	v := &in.Cols[ci]
+	switch a.Func {
+	case algebra.Count, algebra.Sum, algebra.Avg, algebra.Min, algebra.Max:
+	default:
+		return nil, false // distinct forms track a value set; use AggState
+	}
+	switch v.Phys {
+	case batch.PhysInt:
+		n := make([]int64, ngroups)
+		sumI := make([]int64, ngroups)
+		sumF := make([]float64, ngroups)
+		mn := make([]int64, ngroups)
+		mx := make([]int64, ngroups)
+		for i := 0; i < in.N; i++ {
+			if v.IsNull(i) {
+				continue
+			}
+			g := groupOf[i]
+			x := v.Ints[i]
+			if n[g] == 0 || x < mn[g] {
+				mn[g] = x
+			}
+			if n[g] == 0 || x > mx[g] {
+				mx[g] = x
+			}
+			n[g]++
+			sumI[g] += x
+			sumF[g] += float64(x)
+		}
+		out := make([]value.Value, ngroups)
+		for g := range out {
+			switch {
+			case n[g] == 0:
+				if a.Func == algebra.Count && !a.NullIfEmpty {
+					out[g] = value.NewInt(0)
+				} else {
+					out[g] = value.Null
+				}
+			case a.Func == algebra.Count:
+				out[g] = value.NewInt(n[g])
+			case a.Func == algebra.Sum:
+				out[g] = value.NewInt(sumI[g])
+			case a.Func == algebra.Avg:
+				out[g] = value.NewFloat(sumF[g] / float64(n[g]))
+			case a.Func == algebra.Min:
+				out[g] = value.NewInt(mn[g])
+			default:
+				out[g] = value.NewInt(mx[g])
+			}
+		}
+		return out, true
+	case batch.PhysFloat:
+		n := make([]int64, ngroups)
+		sumF := make([]float64, ngroups)
+		mn := make([]float64, ngroups)
+		mx := make([]float64, ngroups)
+		for i := 0; i < in.N; i++ {
+			if v.IsNull(i) {
+				continue
+			}
+			g := groupOf[i]
+			x := v.Floats[i]
+			if n[g] == 0 || x < mn[g] {
+				mn[g] = x
+			}
+			if n[g] == 0 || x > mx[g] {
+				mx[g] = x
+			}
+			n[g]++
+			sumF[g] += x
+		}
+		out := make([]value.Value, ngroups)
+		for g := range out {
+			switch {
+			case n[g] == 0:
+				if a.Func == algebra.Count && !a.NullIfEmpty {
+					out[g] = value.NewInt(0)
+				} else {
+					out[g] = value.Null
+				}
+			case a.Func == algebra.Count:
+				out[g] = value.NewInt(n[g])
+			case a.Func == algebra.Sum:
+				out[g] = value.NewFloat(sumF[g])
+			case a.Func == algebra.Avg:
+				out[g] = value.NewFloat(sumF[g] / float64(n[g]))
+			case a.Func == algebra.Min:
+				out[g] = value.NewFloat(mn[g])
+			default:
+				out[g] = value.NewFloat(mx[g])
+			}
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// finishCounts finalizes COUNT(*) tallies with the NullIfEmpty rule.
+func finishCounts(n []int64, nullIfEmpty bool) []value.Value {
+	out := make([]value.Value, len(n))
+	for g, c := range n {
+		if c == 0 && nullIfEmpty {
+			out[g] = value.Null
+		} else {
+			out[g] = value.NewInt(c)
+		}
+	}
+	return out
+}
+
+// vecAggGeneric accumulates one aggregate through algebra.AggState —
+// the exact tuple-engine accumulator — for distinct forms, computed
+// arguments and mixed-kind columns.
+func vecAggGeneric(a algebra.Aggregate, in *batch.Rel, groupOf []int32, ngroups int) []value.Value {
+	states := make([]*algebra.AggState, ngroups)
+	for g := range states {
+		states[g] = algebra.NewAggState(a.Func)
+	}
+	env := expr.TupleEnv{Schema: in.Schema}
+	scratch := make(relation.Tuple, in.Schema.Len())
+	for i := 0; i < in.N; i++ {
+		var v value.Value
+		if a.Arg != nil {
+			in.ReadTuple(i, scratch)
+			env.Tuple = scratch
+			v = a.Arg.Eval(env)
+		}
+		states[groupOf[i]].Add(a.Func, v)
+	}
+	out := make([]value.Value, ngroups)
+	for g := range out {
+		out[g] = states[g].Result(a.Func, a.NullIfEmpty)
+	}
+	return out
+}

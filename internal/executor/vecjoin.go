@@ -1,0 +1,176 @@
+package executor
+
+import (
+	"repro/internal/batch"
+	"repro/internal/expr"
+	"repro/internal/guard"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// vecJoin is the columnar hash join: build an array-chained hash
+// table over the right side's precomputed key hashes, probe the left
+// side batch-at-a-time accumulating (left,right) row-index pairs, and
+// gather the output columns in one pass — NULL padding for outer
+// kinds is index -1 in the same gather. Non-equi predicates cannot be
+// hashed and fall back to the tuple engine's nested loop; a build
+// side that cannot fit the byte budget's headroom routes through the
+// spilling grace join. Both escapes are counted.
+func (e *vecEngine) vecJoin(kind plan.JoinKind, pred expr.Pred, l, r *batch.Rel, st *joinProbe) (*batch.Rel, error) {
+	ls, rs := l.Schema, r.Schema
+	keys, residual := splitEqui(pred, ls, rs)
+	if len(keys) == 0 {
+		e.reg.Counter("exec.vector.fallback.join-nonequi").Inc()
+		out, err := joinExecProbe(kind, pred, l.ToRelation(), r.ToRelation(), st, e.b)
+		if err != nil {
+			return nil, err
+		}
+		return batch.FromRelation(out), nil
+	}
+	if free, limited := e.b.BytesFree(); limited {
+		if need := estBytes(r.N, rs.Len()); 2*need > free {
+			e.reg.Counter("exec.vector.spill").Inc()
+			out, err := spillJoinProbe(kind, pred, l.ToRelation(), r.ToRelation(), st, e.b, e.reg, SpillOptions{})
+			if err != nil {
+				return nil, err
+			}
+			return batch.FromRelation(out), nil
+		}
+	}
+	li := make([]int, len(keys))
+	ri := make([]int, len(keys))
+	for i, k := range keys {
+		li[i], ri[i] = k.li, k.ri
+	}
+	buildRes := estBytes(r.N, rs.Len())
+	if err := e.b.ReserveBytes(buildRes); err != nil {
+		return nil, err
+	}
+	defer e.b.ReleaseBytes(buildRes)
+
+	// Build: chain right rows with equal hash slots through two flat
+	// int32 arrays — head per slot, next per row — instead of a
+	// map[uint64][]int. Insertion prepends, so rows are inserted in
+	// reverse and each chain iterates in ascending row order: per probe
+	// row, matches emerge in the same order the tuple engine's
+	// insertion-ordered buckets produce them, which keeps float
+	// aggregates over join output accumulating in the same order
+	// (bit-identical sums) on both engines.
+	rh, rok := r.KeyHashes(ri, false)
+	lh, lok := l.KeyHashes(li, false)
+	P := nextPow2(2*r.N + 2)
+	mask := uint64(P - 1)
+	head := make([]int32, P)
+	for i := range head {
+		head[i] = -1
+	}
+	next := make([]int32, r.N)
+	buildRows := 0
+	for j := r.N - 1; j >= 0; j-- {
+		if !rok[j] {
+			continue
+		}
+		s := rh[j] & mask
+		next[j] = head[s]
+		head[s] = int32(j)
+		buildRows++
+	}
+	if st != nil {
+		st.BuildRows += buildRows
+	}
+
+	nl, nr := ls.Len(), rs.Len()
+	outSchema := ls.Concat(rs)
+	_, residualTrue := residual.(expr.True)
+	var env expr.TupleEnv
+	var scratch relation.Tuple
+	if !residualTrue {
+		env = expr.TupleEnv{Schema: outSchema}
+		scratch = make(relation.Tuple, nl+nr)
+	}
+	leftOuter := kind == plan.LeftJoin || kind == plan.FullJoin
+	rightOuter := kind == plan.RightJoin || kind == plan.FullJoin
+	var rightMatched []bool
+	if rightOuter {
+		rightMatched = make([]bool, r.N)
+	}
+
+	// Probe batch-at-a-time: guard checks, fault points and
+	// incremental output charges once per batch, like the tuple
+	// engine's per-batch protocol.
+	lsel := make([]int32, 0, l.N)
+	rsel := make([]int32, 0, l.N)
+	collisions, residualEvals, padded := 0, 0, 0
+	charged := 0
+	for lo := 0; lo < l.N; lo += e.batch {
+		if err := guard.Hit(guard.PointExecBatch); err != nil {
+			return nil, err
+		}
+		if err := e.b.Err(); err != nil {
+			return nil, err
+		}
+		if err := e.b.ChargeOut(len(lsel)-charged, nl+nr); err != nil {
+			return nil, err
+		}
+		charged = len(lsel)
+		hi := min(lo+e.batch, l.N)
+		for i := lo; i < hi; i++ {
+			matched := false
+			if lok[i] {
+				h := lh[i]
+				for j := head[h&mask]; j >= 0; j = next[j] {
+					if rh[j] != h {
+						continue // slot shared by a different hash
+					}
+					if !l.EqualOn(i, r, int(j), li, ri) {
+						collisions++
+						continue
+					}
+					if !residualTrue {
+						l.ReadTuple(i, scratch[:nl])
+						r.ReadTuple(int(j), scratch[nl:])
+						env.Tuple = scratch
+						residualEvals++
+						if !residual.Eval(env).Holds() {
+							continue
+						}
+					}
+					matched = true
+					if rightOuter {
+						rightMatched[j] = true
+					}
+					lsel = append(lsel, int32(i))
+					rsel = append(rsel, j)
+				}
+			}
+			if !matched && leftOuter {
+				lsel = append(lsel, int32(i))
+				rsel = append(rsel, -1)
+				padded++
+			}
+		}
+	}
+	if rightOuter {
+		for j := 0; j < r.N; j++ {
+			if rightMatched[j] {
+				continue
+			}
+			lsel = append(lsel, -1)
+			rsel = append(rsel, int32(j))
+			padded++
+		}
+	}
+	if st != nil {
+		st.Collisions += collisions
+		st.ResidualEvals += residualEvals
+		st.NullPadded += padded
+	}
+	if collisions > 0 {
+		e.reg.Counter("exec.hash.collisions").Add(int64(collisions))
+	}
+	e.reg.Counter("exec.vector.join.batches").Add(int64((l.N + e.batch - 1) / e.batch))
+	if err := e.b.ChargeOut(len(lsel)-charged, nl+nr); err != nil {
+		return nil, err
+	}
+	return batch.Gather2(outSchema, l, lsel, r, rsel), nil
+}

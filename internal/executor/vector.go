@@ -1,0 +1,295 @@
+package executor
+
+import (
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/batch"
+	"repro/internal/expr"
+	"repro/internal/guard"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/schema"
+)
+
+// This file is the vectorized engine's plan walker. Data flows
+// between operators as columnar batch.Rel relations; the hot
+// operators — scan, selection, equi-join build/probe, GROUP BY and
+// (distinct) projection — run as batch-at-a-time kernels (vecjoin.go,
+// vecagg.go), and every operator the columnar engine has not ported
+// falls back per operator to the tuple engine: children are
+// materialized row-major, the tuple operator runs through run()'s
+// charging protocol, and the result is re-shaped columnar. Fallbacks
+// are counted on exec.vector.fallback.<op>, so a plan that silently
+// executes mostly row-at-a-time is visible in -stats output.
+//
+// The contract is RunVectorized ≡ Run as multisets on every plan the
+// tuple engine accepts, including NULL-padded outer joins, and
+// bit-identical aggregate values (float sums accumulate in input
+// order through the same algebra.AggState arithmetic).
+
+// VecOptions tune RunVectorizedOpts.
+type VecOptions struct {
+	// BatchSize is the probe/selection kernel granularity in rows:
+	// guard checks, fault points and incremental output charges happen
+	// once per batch. 0 means execBatchRows (1024). The equivalence
+	// property tests sweep {1, 3, 1024} to pin batch-boundary
+	// handling.
+	BatchSize int
+}
+
+// RunVectorized executes the plan on the columnar engine. Results are
+// multiset-equal to Run; output order may differ on fallback seams.
+func RunVectorized(n plan.Node, db plan.Database) (*relation.Relation, error) {
+	return RunVectorizedOpts(n, db, nil, VecOptions{})
+}
+
+// RunVectorizedGuarded is RunVectorized under resource governance,
+// with RunGuarded's budget and panic-containment contract. Joins
+// whose build side cannot fit the byte budget's headroom
+// automatically route through the spilling grace join.
+func RunVectorizedGuarded(n plan.Node, db plan.Database, b *guard.Budget) (*relation.Relation, error) {
+	return RunVectorizedOpts(n, db, b, VecOptions{})
+}
+
+// RunVectorizedOpts is the fully parameterized entry point.
+func RunVectorizedOpts(n plan.Node, db plan.Database, b *guard.Budget, o VecOptions) (out *relation.Relation, err error) {
+	phase := "execute"
+	defer guard.RecoverAs(&err, &phase, plan.Key(n), nil)
+	e := &vecEngine{db: db, b: b, batch: o.BatchSize, reg: obs.Default()}
+	if e.batch <= 0 {
+		e.batch = execBatchRows
+	}
+	obs.WithPhase(b.Context(), "executor", "execute", func() {
+		var col *batch.Rel
+		col, err = e.exec(n)
+		if err == nil {
+			out = col.ToRelation()
+		}
+	})
+	return out, err
+}
+
+// RunVectorizedInstrumented executes on the columnar engine while
+// collecting the same per-operator annotations RunInstrumented does,
+// plus the vectorized extras (vector batches, fallbacks, spill
+// figures) — EXPLAIN ANALYZE's -vec path.
+func RunVectorizedInstrumented(n plan.Node, db plan.Database, reg *obs.Registry, b *guard.Budget) (out *relation.Relation, ann plan.Annotations, err error) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	phase := "execute"
+	defer guard.RecoverAs(&err, &phase, plan.Key(n), reg)
+	e := &vecEngine{db: db, b: b, batch: execBatchRows, reg: reg, ann: plan.Annotations{}}
+	obs.WithPhase(b.Context(), "executor", "execute", func() {
+		var col *batch.Rel
+		col, err = e.exec(n)
+		if err == nil {
+			out = col.ToRelation()
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, e.ann, nil
+}
+
+// vecEngine carries one vectorized execution's configuration.
+type vecEngine struct {
+	db    plan.Database
+	b     *guard.Budget
+	batch int
+	reg   *obs.Registry
+	ann   plan.Annotations // nil outside instrumented runs
+}
+
+// exec is the columnar analogue of run: budget check on entry, an
+// operator fault point as each node completes, joins charged
+// incrementally inside the probe kernels, every other materializing
+// operator charged on its full output — the exact protocol the tuple
+// engines follow, so a budget trips at the same boundaries.
+func (e *vecEngine) exec(n plan.Node) (*batch.Rel, error) {
+	if err := e.b.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var st *joinProbe
+	if e.ann != nil {
+		st = &joinProbe{}
+	}
+	out, charged, err := e.execNode(n, st)
+	if err != nil {
+		return nil, err
+	}
+	if err := guard.Hit(guard.PointExecOperator); err != nil {
+		return nil, err
+	}
+	if !charged {
+		if err := e.b.ChargeOut(out.N, out.Schema.Len()); err != nil {
+			return nil, err
+		}
+	}
+	if e.ann != nil {
+		a := e.ann.For(n)
+		a.Rows = out.N
+		a.Elapsed = time.Since(start)
+		if st != nil {
+			switch n.(type) {
+			case *plan.Join, *plan.MGOJNode:
+				recordJoinProbe(a, st, e.reg)
+			}
+		}
+		op := OpName(n)
+		e.reg.Counter("executor.ops").Inc()
+		e.reg.Counter("executor.op." + op).Inc()
+		e.reg.Counter("executor.rows_out").Add(int64(out.N))
+		e.reg.Histogram("executor.op_ns").ObserveDuration(a.Elapsed)
+		e.reg.Histogram("executor.rows_out." + op).Observe(int64(out.N))
+	}
+	return out, nil
+}
+
+// execNode dispatches one operator. It reports whether the operator
+// already charged its output (scans and materialized inputs are
+// exempt; joins charge per batch; fallbacks charge inside run()).
+func (e *vecEngine) execNode(n plan.Node, st *joinProbe) (*batch.Rel, bool, error) {
+	switch m := n.(type) {
+	case *plan.Scan:
+		rel, err := m.Eval(e.db)
+		if err != nil {
+			return nil, false, err
+		}
+		return batch.FromRelation(rel), true, nil
+	case *materialized:
+		return batch.FromRelation(m.rel), true, nil
+	case *plan.Select:
+		in, err := e.exec(m.Input)
+		if err != nil {
+			return nil, false, err
+		}
+		out, err := e.vecSelect(m.Pred, in)
+		return out, false, err
+	case *plan.Project:
+		in, err := e.exec(m.Input)
+		if err != nil {
+			return nil, false, err
+		}
+		out, err := e.vecProject(m.Attrs, m.Distinct, in)
+		return out, false, err
+	case *plan.GroupBy:
+		in, err := e.exec(m.Input)
+		if err != nil {
+			return nil, false, err
+		}
+		out, err := e.vecGroupBy(m.Keys, m.Aggs, in)
+		return out, false, err
+	case *plan.Join:
+		l, err := e.exec(m.L)
+		if err != nil {
+			return nil, false, err
+		}
+		r, err := e.exec(m.R)
+		if err != nil {
+			return nil, false, err
+		}
+		out, err := e.vecJoin(m.Kind, m.Pred, l, r, st)
+		return out, true, err
+	case *plan.MGOJNode:
+		// The inner join runs vectorized; the preserved-projection
+		// compensation is inherently tuple-shaped (distinct projections
+		// and set differences over the padded remainder) and reuses the
+		// tuple engine's mgojCompensate on the materialized seam.
+		l, err := e.exec(m.L)
+		if err != nil {
+			return nil, false, err
+		}
+		r, err := e.exec(m.R)
+		if err != nil {
+			return nil, false, err
+		}
+		join, err := e.vecJoin(plan.InnerJoin, m.Pred, l, r, st)
+		if err != nil {
+			return nil, false, err
+		}
+		e.reg.Counter("exec.vector.fallback.mgoj-compensate").Inc()
+		out, err := mgojCompensate(m, join.ToRelation(), l.ToRelation(), r.ToRelation(), st, e.b)
+		if err != nil {
+			return nil, false, err
+		}
+		return batch.FromRelation(out), true, nil
+	case *plan.GenSel:
+		// σ_p runs vectorized; the preserved-side padding reuses the
+		// tuple algebra on the materialized seam.
+		in, err := e.exec(m.Input)
+		if err != nil {
+			return nil, false, err
+		}
+		sel, err := e.vecSelect(m.Pred, in)
+		if err != nil {
+			return nil, false, err
+		}
+		specs := make([]map[string]bool, len(m.Preserved))
+		for i, s := range m.Preserved {
+			specs[i] = s.Set()
+		}
+		e.reg.Counter("exec.vector.fallback.gensel-pad").Inc()
+		out, err := algebra.GenSelectWith(sel.ToRelation(), specs, in.ToRelation())
+		if err != nil {
+			return nil, false, err
+		}
+		return batch.FromRelation(out), false, nil
+	default:
+		return e.fallback(n)
+	}
+}
+
+// fallback materializes the children columnar-side, runs the tuple
+// operator through run()'s charging protocol, and re-shapes the
+// result. Counted per operator on exec.vector.fallback.<op>.
+func (e *vecEngine) fallback(n plan.Node) (*batch.Rel, bool, error) {
+	e.reg.Counter("exec.vector.fallback." + OpName(n)).Inc()
+	ch := n.Children()
+	newCh := make([]plan.Node, len(ch))
+	for i, c := range ch {
+		col, err := e.exec(c)
+		if err != nil {
+			return nil, false, err
+		}
+		newCh[i] = &materialized{rel: col.ToRelation()}
+	}
+	node := n
+	if len(ch) > 0 {
+		node = n.WithChildren(newCh)
+	}
+	out, err := run(node, e.db, e.b)
+	if err != nil {
+		return nil, false, err
+	}
+	return batch.FromRelation(out), true, nil
+}
+
+// JoinExecVec is the columnar hash join over pre-shaped columnar
+// inputs — the kernel-level entry the benchmark harness measures
+// (batch.FromRelation once, join many times, as a columnar engine
+// holds data between operators). Guarded and panic-contained like
+// JoinExec.
+func JoinExecVec(kind plan.JoinKind, pred expr.Pred, l, r *batch.Rel, b *guard.Budget, o VecOptions) (out *batch.Rel, err error) {
+	phase := "execute"
+	defer guard.RecoverAs(&err, &phase, "joinvec", nil)
+	e := &vecEngine{b: b, batch: o.BatchSize, reg: obs.Default()}
+	if e.batch <= 0 {
+		e.batch = execBatchRows
+	}
+	return e.vecJoin(kind, pred, l, r, nil)
+}
+
+// GroupByExecVec is the columnar generalized projection over a
+// pre-shaped columnar input, the kernel-level sibling of
+// algebra.GroupProject.
+func GroupByExecVec(keys []schema.Attribute, aggs []algebra.Aggregate, in *batch.Rel, b *guard.Budget) (out *batch.Rel, err error) {
+	phase := "execute"
+	defer guard.RecoverAs(&err, &phase, "groupbyvec", nil)
+	e := &vecEngine{b: b, batch: execBatchRows, reg: obs.Default()}
+	return e.vecGroupBy(keys, aggs, in)
+}

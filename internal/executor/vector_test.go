@@ -1,0 +1,324 @@
+// Equivalence suite for the vectorized engine: RunVectorized must be
+// multiset-identical to Run (and RunParallel) on every plan shape the
+// tuple engine accepts — all join kinds with NULL keys, MGOJ, GenSel,
+// grouping with every aggregate form — across batch sizes {1, 3,
+// 1024}, and must agree bit-for-bit on aggregate float arithmetic.
+// make race-vec runs this file under the race detector.
+package executor
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/guard"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// vecBatchSizes are swept by every equivalence test: 1 and 3 pin
+// batch-boundary handling, 1024 is the production granularity.
+var vecBatchSizes = []int{1, 3, 1024}
+
+// mixedDB builds relations with an int key x, an int y, a float f and
+// a string s (all ~10% NULL) so the typed selection and aggregation
+// kernels and the PhysAny fallbacks all engage.
+func mixedDB(rng *rand.Rand, rows, domain int, rels ...string) plan.Database {
+	words := []string{"ape", "bee", "cat", "dog", "eel"}
+	db := make(plan.Database, len(rels))
+	for _, name := range rels {
+		b := relation.NewBuilder(name, "x", "y", "f", "s")
+		n := rows/2 + rng.Intn(rows/2+1)
+		for i := 0; i < n; i++ {
+			vals := make([]value.Value, 4)
+			for j := range vals {
+				if rng.Intn(10) == 0 {
+					vals[j] = value.Null
+					continue
+				}
+				switch j {
+				case 2:
+					vals[j] = value.NewFloat(rng.Float64() * float64(domain))
+				case 3:
+					vals[j] = value.NewString(words[rng.Intn(len(words))])
+				default:
+					vals[j] = value.NewInt(int64(rng.Intn(domain)))
+				}
+			}
+			b.Row(vals...)
+		}
+		db[name] = b.Relation()
+	}
+	return db
+}
+
+// vecPlans is the plan zoo: every ported operator plus the fallback
+// seams (sort, MGOJ compensation, GenSel padding).
+func vecPlans() []plan.Node {
+	lt := func(a, b string) expr.Pred {
+		return expr.Cmp{Op: value.LT, L: expr.Column(a, "y"), R: expr.Column(b, "y")}
+	}
+	return []plan.Node{
+		// Selection kernels: typed col-const, col-col, and a disjunction
+		// that must take the generic row path.
+		plan.NewSelect(expr.Cmp{Op: value.GE, L: expr.Column("r1", "x"), R: expr.Int(5)},
+			plan.NewScan("r1")),
+		plan.NewSelect(expr.And(
+			expr.Cmp{Op: value.LT, L: expr.Column("r1", "x"), R: expr.Column("r1", "y")},
+			expr.Cmp{Op: value.EQ, L: expr.Column("r1", "s"), R: expr.Str("cat")}),
+			plan.NewScan("r1")),
+		plan.NewSelect(expr.Or(
+			expr.Cmp{Op: value.LT, L: expr.Column("r1", "f"), R: expr.Float(3)},
+			expr.Cmp{Op: value.EQ, L: expr.Column("r1", "x"), R: expr.Int(1)}),
+			plan.NewScan("r1")),
+		// Projection, plain and distinct.
+		plan.NewProject([]schema.Attribute{schema.Attr("r1", "x"), schema.Attr("r1", "s")}, false,
+			plan.NewScan("r1")),
+		plan.NewProject([]schema.Attribute{schema.Attr("r1", "x"), schema.Attr("r1", "s")}, true,
+			plan.NewScan("r1")),
+		// Every join kind, with residuals and NULL keys.
+		plan.NewJoin(plan.InnerJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2")),
+		plan.NewJoin(plan.LeftJoin, expr.And(eqX("r1", "r2"), lt("r1", "r2")),
+			plan.NewScan("r1"), plan.NewScan("r2")),
+		plan.NewJoin(plan.RightJoin, eqY("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2")),
+		plan.NewJoin(plan.FullJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2")),
+		// Non-equi join: vectorized engine falls back to the nested loop.
+		plan.NewJoin(plan.InnerJoin, lt("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2")),
+		// MGOJ and generalized selection over join trees.
+		plan.NewMGOJ(eqX("r2", "r3"), []plan.PreservedSpec{plan.NewPreserved("r1")},
+			plan.NewJoin(plan.LeftJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2")),
+			plan.NewScan("r3")),
+		plan.NewGenSel(eqY("r1", "r3"), []plan.PreservedSpec{plan.NewPreserved("r1", "r2")},
+			plan.NewJoin(plan.LeftJoin, eqX("r2", "r3"),
+				plan.NewJoin(plan.LeftJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2")),
+				plan.NewScan("r3"))),
+		// Aggregation: typed int/float kernels, distinct forms, computed
+		// arguments, and grouping keys with NULLs.
+		plan.NewGroupBy(
+			[]schema.Attribute{schema.Attr("r1", "x")},
+			[]algebra.Aggregate{
+				{Func: algebra.CountStar, Out: schema.Attr("q", "n")},
+				{Func: algebra.Count, Arg: expr.Column("r2", "y"), Out: schema.Attr("q", "c")},
+				{Func: algebra.Sum, Arg: expr.Column("r2", "y"), Out: schema.Attr("q", "sy")},
+				{Func: algebra.Sum, Arg: expr.Column("r2", "f"), Out: schema.Attr("q", "sf")},
+				{Func: algebra.Avg, Arg: expr.Column("r2", "f"), Out: schema.Attr("q", "af")},
+				{Func: algebra.Min, Arg: expr.Column("r2", "f"), Out: schema.Attr("q", "mf")},
+				{Func: algebra.Max, Arg: expr.Column("r2", "y"), Out: schema.Attr("q", "my")},
+				{Func: algebra.CountDistinct, Arg: expr.Column("r2", "x"), Out: schema.Attr("q", "cd")},
+				{Func: algebra.SumDistinct, Arg: expr.Column("r2", "y"), Out: schema.Attr("q", "sd")},
+				{Func: algebra.AvgDistinct, Arg: expr.Column("r2", "f"), Out: schema.Attr("q", "ad")},
+			},
+			plan.NewJoin(plan.LeftJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2"))),
+		// Aggregation with no keys over a possibly-empty selection.
+		plan.NewGroupBy(nil,
+			[]algebra.Aggregate{
+				{Func: algebra.CountStar, Out: schema.Attr("q", "n")},
+				{Func: algebra.Sum, Arg: expr.Column("r1", "f"), Out: schema.Attr("q", "s")},
+			},
+			plan.NewSelect(expr.Cmp{Op: value.LT, L: expr.Column("r1", "x"), R: expr.Int(2)},
+				plan.NewScan("r1"))),
+		// Sort: not ported, exercises the per-operator fallback.
+		plan.NewSort([]plan.SortKey{{Attr: schema.Attr("r1", "x")}}, 0,
+			plan.NewSelect(expr.Cmp{Op: value.GE, L: expr.Column("r1", "y"), R: expr.Int(3)},
+				plan.NewScan("r1"))),
+	}
+}
+
+// TestVectorizedMatchesRun is the three-engine equivalence property:
+// Run ≡ RunParallel ≡ RunVectorized as multisets on randomized
+// mixed-kind relations with NULL keys, across batch sizes.
+func TestVectorizedMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	plans := vecPlans()
+	for pi, p := range plans {
+		for trial := 0; trial < 2; trial++ {
+			db := mixedDB(rng, 300, 19, "r1", "r2", "r3")
+			want, err := Run(p, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := RunParallel(p, db, 3)
+			if err != nil {
+				t.Fatalf("plan %d: RunParallel: %v", pi, err)
+			}
+			if !par.EqualAsMultisets(want) {
+				t.Fatalf("plan %d trial %d: RunParallel differs from Run", pi, trial)
+			}
+			for _, bs := range vecBatchSizes {
+				got, err := RunVectorizedOpts(p, db, nil, VecOptions{BatchSize: bs})
+				if err != nil {
+					t.Fatalf("plan %d batch %d: %v", pi, bs, err)
+				}
+				if !got.EqualAsMultisets(want) {
+					t.Fatalf("plan %d batch %d trial %d: RunVectorized differs from Run", pi, bs, trial)
+				}
+			}
+		}
+	}
+}
+
+// TestVectorizedSelectPreservesOrder: filters keep input order, so a
+// pure scan→select plan must match Run row-for-row, not just as a
+// multiset.
+func TestVectorizedSelectPreservesOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(212))
+	db := mixedDB(rng, 400, 17, "r1")
+	p := plan.NewSelect(expr.And(
+		expr.Cmp{Op: value.GE, L: expr.Column("r1", "x"), R: expr.Int(3)},
+		expr.Cmp{Op: value.LT, L: expr.Column("r1", "f"), R: expr.Float(12)}),
+		plan.NewScan("r1"))
+	want, err := Run(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range vecBatchSizes {
+		got, err := RunVectorizedOpts(p, db, nil, VecOptions{BatchSize: bs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("batch %d: lengths differ: %d vs %d", bs, got.Len(), want.Len())
+		}
+		for i := 0; i < got.Len(); i++ {
+			if !got.Tuple(i).EqualTuple(want.Tuple(i)) {
+				t.Fatalf("batch %d row %d: order not preserved", bs, i)
+			}
+		}
+	}
+}
+
+// TestVectorizedEmptyInputs pins the aggregate empty-group semantics
+// and zero-row plumbing through the columnar path.
+func TestVectorizedEmptyInputs(t *testing.T) {
+	db := plan.Database{"r1": relation.New(schema.Base("r1", "x", "y", "f", "s"))}
+	never := expr.Cmp{Op: value.LT, L: expr.Column("r1", "x"), R: expr.Int(-1)}
+	plans := []plan.Node{
+		plan.NewSelect(never, plan.NewScan("r1")),
+		plan.NewGroupBy([]schema.Attribute{schema.Attr("r1", "x")},
+			[]algebra.Aggregate{{Func: algebra.CountStar, Out: schema.Attr("q", "n")}},
+			plan.NewScan("r1")),
+		plan.NewGroupBy(nil,
+			[]algebra.Aggregate{
+				{Func: algebra.CountStar, Out: schema.Attr("q", "n")},
+				{Func: algebra.Count, Arg: expr.Column("r1", "y"), Out: schema.Attr("q", "c"), NullIfEmpty: true},
+				{Func: algebra.Sum, Arg: expr.Column("r1", "y"), Out: schema.Attr("q", "s")},
+			},
+			plan.NewScan("r1")),
+	}
+	for pi, p := range plans {
+		want, err := Run(p, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bs := range vecBatchSizes {
+			got, err := RunVectorizedOpts(p, db, nil, VecOptions{BatchSize: bs})
+			if err != nil {
+				t.Fatalf("plan %d: %v", pi, err)
+			}
+			if !got.EqualAsMultisets(want) {
+				t.Fatalf("plan %d batch %d: empty-input results differ", pi, bs)
+			}
+		}
+	}
+}
+
+// TestVectorizedSpills: under a byte budget the in-memory build cannot
+// reserve, the vectorized join must route through the spilling grace
+// join and still match the unbudgeted run.
+func TestVectorizedSpills(t *testing.T) {
+	rng := rand.New(rand.NewSource(213))
+	db := bigDB(rng, 4000, 100000, "r1", "r2")
+	p := plan.NewJoin(plan.InnerJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2"))
+	want, err := Run(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := obs.Default().Counter("exec.vector.spill").Value()
+	got, err := RunVectorizedGuarded(p, db,
+		guard.New(context.Background(), guard.Limits{MaxBytes: 100_000}, nil))
+	if err != nil {
+		t.Fatalf("vectorized join did not spill under budget: %v", err)
+	}
+	if !got.EqualAsMultisets(want) {
+		t.Fatal("spilled vectorized result differs from unbudgeted Run")
+	}
+	if obs.Default().Counter("exec.vector.spill").Value() == before {
+		t.Error("exec.vector.spill not incremented")
+	}
+}
+
+// TestVectorizedBudgetTrips: the vectorized engine honours the same
+// budget protocol — a tight row cap trips with the typed budget error.
+func TestVectorizedBudgetTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(214))
+	db := mixedDB(rng, 400, 7, "r1", "r2")
+	p := plan.NewJoin(plan.InnerJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2"))
+	_, err := RunVectorizedGuarded(p, db,
+		guard.New(context.Background(), guard.Limits{MaxRows: 50}, nil))
+	if !guard.IsBudget(err) {
+		t.Fatalf("err = %v, want guard.ErrBudget", err)
+	}
+}
+
+// TestVectorizedFallbackCounted: an unported operator increments its
+// exec.vector.fallback.<op> counter and still computes correctly.
+func TestVectorizedFallbackCounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(215))
+	db := mixedDB(rng, 200, 11, "r1")
+	p := plan.NewSort([]plan.SortKey{{Attr: schema.Attr("r1", "x")}}, 0, plan.NewScan("r1"))
+	before := obs.Default().Counter("exec.vector.fallback.sort").Value()
+	want, err := Run(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunVectorized(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualAsMultisets(want) {
+		t.Fatal("fallback result differs from Run")
+	}
+	if obs.Default().Counter("exec.vector.fallback.sort").Value() == before {
+		t.Error("exec.vector.fallback.sort not incremented")
+	}
+}
+
+// TestVectorizedInstrumented: the -vec EXPLAIN ANALYZE path annotates
+// every node with rows and the join with its probe extras.
+func TestVectorizedInstrumented(t *testing.T) {
+	rng := rand.New(rand.NewSource(216))
+	db := mixedDB(rng, 300, 13, "r1", "r2")
+	join := plan.NewJoin(plan.LeftJoin, eqX("r1", "r2"), plan.NewScan("r1"), plan.NewScan("r2"))
+	p := plan.NewGroupBy(
+		[]schema.Attribute{schema.Attr("r1", "x")},
+		[]algebra.Aggregate{{Func: algebra.CountStar, Out: schema.Attr("q", "n")}},
+		join)
+	reg := obs.NewRegistry()
+	out, ann, err := RunVectorizedInstrumented(p, db, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.EqualAsMultisets(want) {
+		t.Fatal("instrumented vectorized result differs from Run")
+	}
+	a := ann.For(p)
+	if a.Rows != out.Len() {
+		t.Errorf("root annotation rows = %d, want %d", a.Rows, out.Len())
+	}
+	ja := ann.For(join)
+	if _, ok := ja.Extra["hash_build_rows"]; !ok {
+		t.Error("join annotation missing hash_build_rows")
+	}
+	if reg.Counter("executor.op.join.LOJ").Value() == 0 {
+		t.Error("per-operator counter not recorded")
+	}
+}

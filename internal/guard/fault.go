@@ -45,6 +45,12 @@ const (
 	PointExecPartition Point = "exec.join.partition"
 	// PointDatagenBatch fires at datagen's per-batch boundaries.
 	PointDatagenBatch Point = "datagen.batch"
+	// PointSpillWrite fires as each spill partition file is flushed
+	// during the out-of-core grace join's partitioning phase.
+	PointSpillWrite Point = "exec.spill.write"
+	// PointSpillRead fires as each spilled partition is read back for
+	// joining (or recursive re-partitioning).
+	PointSpillRead Point = "exec.spill.read"
 )
 
 // Points returns every registered fault point, sorted.
@@ -60,6 +66,8 @@ func Points() []Point {
 		PointExecBatch,
 		PointExecPartition,
 		PointDatagenBatch,
+		PointSpillWrite,
+		PointSpillRead,
 	}
 	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
 	return pts

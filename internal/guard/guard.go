@@ -272,6 +272,43 @@ func (b *Budget) ChargeRows(n int64) error { return b.charge(Rows, n) }
 // ChargeBytes charges n estimated intermediate bytes.
 func (b *Budget) ChargeBytes(n int64) error { return b.charge(Bytes, n) }
 
+// ReserveBytes charges n estimated bytes for a transient resident
+// structure — a join's build-side hash table, a spill partition read
+// back into memory. Unlike operator outputs (which stay live as the
+// parent's input and are charged permanently via ChargeOut), a
+// reservation is paired with ReleaseBytes when the structure is
+// dropped, so out-of-core execution is accounted by its resident peak
+// rather than its cumulative traffic. Reserving past MaxBytes trips
+// the byte budget exactly like ChargeBytes.
+func (b *Budget) ReserveBytes(n int64) error { return b.charge(Bytes, n) }
+
+// ReleaseBytes returns n previously reserved bytes to the byte
+// budget. Each reservation must be released exactly once; releases
+// are ignored when the byte budget is unlimited (charge never
+// tracked them) and do not un-trip a tripped budget (trips are
+// sticky by design).
+func (b *Budget) ReleaseBytes(n int64) {
+	if b == nil || n <= 0 || b.limits.MaxBytes <= 0 {
+		return
+	}
+	b.used[Bytes].Add(-n)
+}
+
+// BytesFree reports the byte budget's remaining headroom. limited is
+// false when no MaxBytes cap is configured (free is then
+// meaningless); a spilling join consults this to decide whether a
+// build side fits in memory without risking a sticky trip.
+func (b *Budget) BytesFree() (free int64, limited bool) {
+	if b == nil || b.limits.MaxBytes <= 0 {
+		return 0, false
+	}
+	free = b.limits.MaxBytes - b.used[Bytes].Load()
+	if free < 0 {
+		free = 0
+	}
+	return free, true
+}
+
 // ChargeOut charges one operator's materialized output — rows tuples
 // of width columns — against both the row and byte budgets, assuming
 // valueWidthEstimate bytes per value.

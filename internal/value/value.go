@@ -420,17 +420,9 @@ func (v Value) Hash64() uint64 {
 	case KindFloat:
 		return hashFloat64(v.f)
 	case KindString:
-		h := fnvOffset64
-		for i := 0; i < len(v.s); i++ {
-			h ^= uint64(v.s[i])
-			h *= fnvPrime64
-		}
-		return mix64(h ^ hashSeedString)
+		return HashStr(v.s)
 	case KindBool:
-		if v.b {
-			return mix64(hashSeedBool ^ 1)
-		}
-		return mix64(hashSeedBool)
+		return HashBoolean(v.b)
 	}
 	return 0
 }
@@ -441,6 +433,37 @@ func hashFloat64(f float64) uint64 {
 	}
 	return mix64(hashSeedNumeric ^ math.Float64bits(f))
 }
+
+// HashInt64 is NewInt(v).Hash64() without constructing the Value: the
+// hash of an INT, through the shared float64 image. The vectorized
+// kernels hash typed column slices with these helpers so columnar and
+// tuple hashing are guaranteed to agree bucket-for-bucket.
+func HashInt64(v int64) uint64 { return hashFloat64(float64(v)) }
+
+// HashFloat64 is NewFloat(f).Hash64() without constructing the Value.
+func HashFloat64(f float64) uint64 { return hashFloat64(f) }
+
+// HashStr is NewString(s).Hash64() without constructing the Value.
+func HashStr(s string) uint64 {
+	h := fnvOffset64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return mix64(h ^ hashSeedString)
+}
+
+// HashBoolean is NewBool(b).Hash64() without constructing the Value.
+func HashBoolean(b bool) uint64 {
+	if b {
+		return mix64(hashSeedBool ^ 1)
+	}
+	return mix64(hashSeedBool)
+}
+
+// HashNull is Null.Hash64(): the hash grouping keys use for NULL
+// (grouping treats NULL as identical to NULL).
+func HashNull() uint64 { return hashSeedNull }
 
 // HashCombine folds one value hash into a running order-sensitive
 // tuple hash (FNV-1a style over 64-bit lanes). Start from HashSeed.

@@ -57,8 +57,15 @@ func (ob *Observer) Handler() http.Handler {
 // deposited in ob.Flight. Failed runs are recorded too, with the
 // terminal error. ob may be nil (plain ExplainAnalyzeBudget).
 func ExplainAnalyzeObserved(ctx context.Context, q Node, db Database, workers int, l Limits, ob *Observer) (*AnalyzeReport, error) {
+	return ExplainAnalyzeObservedEngine(ctx, q, db, workers, l, ob, false)
+}
+
+// ExplainAnalyzeObservedEngine is ExplainAnalyzeObserved with an
+// engine selector: vectorized=true executes the chosen plan on the
+// columnar engine (cmd/reorder's -vec flag).
+func ExplainAnalyzeObservedEngine(ctx context.Context, q Node, db Database, workers int, l Limits, ob *Observer, vectorized bool) (*AnalyzeReport, error) {
 	reg := obs.NewRegistry()
-	return explainAnalyze(q, db, workers, guard.New(ctx, l, reg), reg, ob)
+	return explainAnalyze(q, db, workers, guard.New(ctx, l, reg), reg, ob, vectorized)
 }
 
 // record deposits one run into the observer: merge the run's private
