@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: all build vet test race race-par race-exec race-vec spill-smoke faults smoke obs bench bench-all check clean
+.PHONY: all build vet test race race-par race-exec race-vec spill-smoke faults smoke obs serve-smoke bench bench-all check clean
 
 all: vet build test
 
 # The full pre-merge gauntlet: static checks, build, the tier-1 test
 # suite, the fault-injection suite under the race detector, the
-# observability smoke, the low-budget spill smoke, and both benchmark
-# regression gates.
-check: vet build test faults obs spill-smoke bench
+# observability smoke, the low-budget spill smoke, the query-service
+# smoke, and the benchmark regression gates.
+check: vet build test faults obs spill-smoke serve-smoke bench
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,8 @@ spill-smoke:
 faults:
 	$(GO) test -race -run 'TestOptimizerFault|TestOptimizerCancelled|TestOptimizerBudget|TestExecutor|TestGuarded|TestGuard|TestBudget|TestSafely|TestRecover|TestFault|TestValidate|TestRun' \
 		./internal/guard/ ./internal/optimizer/ ./internal/executor/ ./internal/datagen/ ./internal/plan/ ./cmd/reorder/
+	$(GO) test -race -run 'TestFault|TestBuildPanicContained|TestBuildErrorNotCached|TestServiceFault' \
+		./internal/plancache/ .
 
 # Quick observability smoke: the concurrent registry/tracer tests.
 smoke:
@@ -89,6 +91,19 @@ obs:
 bench:
 	$(GO) run ./cmd/benchopt -out BENCH_optimizer.json
 	$(GO) run ./cmd/benchexec -out BENCH_executor.json
+	$(GO) run ./cmd/benchserve -out BENCH_serve.json
+
+# Query-service smoke under the race detector: the plan cache
+# (singleflight, eviction, fault containment), the serving layer
+# (one optimization per template, typed shed/deadline/budget errors,
+# admission faults), the HTTP surface, the daemon boot/drain cycle —
+# then a short benchserve burst with the same gates as the full run
+# (cache-hit speedup, typed shed at 2x saturation, goroutine drain,
+# /metrics scrape).
+serve-smoke:
+	$(GO) test -race -count=1 ./internal/plancache/ ./cmd/reorderd/
+	$(GO) test -race -count=1 -run 'TestService|TestHandler' .
+	$(GO) run -race ./cmd/benchserve -short -out BENCH_serve_smoke.json
 
 # The full go test benchmark sweep (root experiment benches included).
 bench-all:

@@ -1,0 +1,584 @@
+// Command benchserve is the open-loop traffic generator and
+// regression gate for the query service. It self-hosts a reorderd
+// configuration (demo database, real HTTP listener), drives it with
+// fixed-arrival-rate traffic — open-loop, so a slow server accumulates
+// backlog instead of slowing the generator down, which is what exposes
+// saturation — and writes BENCH_serve.json.
+//
+// Phases:
+//
+//	warm     one request per template: populates the plan cache and
+//	         proves one optimization per distinct template.
+//	hit      open-loop at -rate on cached templates with random
+//	         constants — the amortized serving path.
+//	miss     open-loop at -miss-rate with cache:"bypass" — the full
+//	         parse→optimize→execute path on every request.
+//	probe    short closed-loop burst of bypass traffic to estimate the
+//	         saturation rate.
+//	overload open-loop bypass traffic at 2x the measured saturation
+//	         rate: sustained overdrive must yield typed outcomes only.
+//	burst    more simultaneous bypass arrivals than the admission bound
+//	         holds: the excess must shed with typed 429s, never panic,
+//	         and the server must drain its goroutines afterwards.
+//
+// Gates: cache-hit P50 must be ≥10x below miss P50; plancache.misses
+// must equal the distinct template count; the overload and burst
+// phases must complete with typed rejections only and the burst must
+// actually shed.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/benchgate"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const (
+	exitOK      = 0
+	exitUsage   = 2
+	exitRuntime = 1
+	exitGate    = 1
+)
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out      = fs.String("out", "BENCH_serve.json", "report path")
+		rate     = fs.Float64("rate", 40, "hit-phase arrival rate (requests/sec)")
+		missRate = fs.Float64("miss-rate", 2, "miss-phase arrival rate (requests/sec)")
+		dur      = fs.Duration("duration", 2*time.Second, "open-loop phase duration")
+		probeDur = fs.Duration("probe", 1500*time.Millisecond, "saturation probe duration")
+		conc     = fs.Int("concurrency", 4, "server MaxConcurrent")
+		queue    = fs.Int("queue", 16, "server MaxQueue")
+		workers  = fs.Int("workers", 0, "server optimizer workers")
+		short    = fs.Bool("short", false, "smoke mode: shorter phases, same assertions")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *short {
+		// serve-smoke runs this under -race, which slows the hit path
+		// ~5x on a single core; keep the arrival rate well under that
+		// capacity so the hit-phase no-shed gate measures the server,
+		// not the instrumentation.
+		*dur = 1500 * time.Millisecond
+		*probeDur = 500 * time.Millisecond
+		*rate = 4
+		*missRate = 1
+		*queue = 8
+	}
+
+	baseGoroutines := runtime.NumGoroutine()
+
+	// Self-host the service on an ephemeral port, exactly as reorderd
+	// -demo would configure it.
+	svc, err := reorder.NewService(reorder.ServiceConfig{
+		DB:             demoDB(),
+		MaxConcurrent:  *conc,
+		MaxQueue:       *queue,
+		Workers:        *workers,
+		DefaultTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "benchserve: %v\n", err)
+		return exitRuntime
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchserve: %v\n", err)
+		return exitRuntime
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 15 * time.Second}
+	g := &gen{base: base, client: client, rng: rand.New(rand.NewSource(1))}
+
+	fmt.Fprintf(stdout, "benchserve: serving %s\n", base)
+
+	// Warm: one request per distinct template. Every one must be a
+	// cache miss (it optimizes) and every later hit-phase request must
+	// not be.
+	for i, q := range templates {
+		r := g.send(q.sql(g.rng), "")
+		if r.outcome != "ok" {
+			fmt.Fprintf(stderr, "benchserve: warm template %d failed: %s %s\n", i, r.outcome, r.errMsg)
+			return exitRuntime
+		}
+		if r.cache != "miss" {
+			fmt.Fprintf(stderr, "benchserve: warm template %d: want cache miss, got %q\n", i, r.cache)
+			return exitRuntime
+		}
+	}
+
+	// Hit and miss phases both drive the Q5-shaped 6-relation chain —
+	// the headline gate compares the amortized path against the full
+	// optimization on the same traffic shape. The other templates are
+	// exercised by warm (per-template cache keying) and by the
+	// overload/burst phases.
+	q5 := templates[0]
+
+	// Hit phase: open loop on the cached template.
+	hit := g.openLoop("hit", *rate, *dur, func(rng *rand.Rand) (string, string) {
+		return q5.sql(rng), ""
+	})
+	fmt.Fprintln(stdout, hit)
+
+	// Miss phase: same template, cache bypassed — every request pays
+	// the full optimization.
+	miss := g.openLoop("miss", *missRate, *dur, func(rng *rand.Rand) (string, string) {
+		return q5.sql(rng), "bypass"
+	})
+	fmt.Fprintln(stdout, miss)
+
+	// Saturation probe: closed loop, one worker per server slot, on
+	// the expensive path.
+	satRate := g.probeSaturation(*conc, *probeDur)
+	fmt.Fprintf(stdout, "saturation ≈ %.1f req/s (bypass)\n", satRate)
+
+	// Overload: open loop at 2x measured saturation on the expensive
+	// path — sustained overdrive must produce only typed outcomes
+	// (ok, shed, deadline), never an untyped error or a panic.
+	overload := g.openLoop("overload", 2*satRate, *dur, func(rng *rand.Rand) (string, string) {
+		return templates[rng.Intn(len(templates))].sql(rng), "bypass"
+	})
+	fmt.Fprintln(stdout, overload)
+
+	// Burst: more simultaneous arrivals than the admission bound
+	// (MaxConcurrent+MaxQueue inflight) can hold. The excess cannot be
+	// absorbed — arrivals land in microseconds while service times are
+	// hundreds of milliseconds — so typed 429 shedding is exercised
+	// deterministically, independent of how accurately the saturation
+	// probe estimated capacity.
+	burst := g.burst(*conc + *queue + 12)
+	fmt.Fprintln(stdout, burst)
+
+	// Scrape and validate /metrics before shutdown.
+	families, err := scrapeMetrics(client, base)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchserve: /metrics: %v\n", err)
+		return exitRuntime
+	}
+	cacheHits := promCounter(families, "plancache_hits")
+	cacheMisses := promCounter(families, "plancache_misses")
+
+	// Drain: stop the server and wait for goroutines to return to
+	// baseline (small slack for the http runtime's pollers).
+	srv.Close()
+	drained := waitGoroutines(baseGoroutines+8, 5*time.Second)
+
+	stats := svc.CacheStats()
+	report := serveReport{
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		GoVersion:    runtime.Version(),
+		Templates:    len(templates),
+		SatRate:      satRate,
+		Seeds:        seedBaselines,
+		Phases:       []phaseStats{hit, miss, overload, burst},
+		CacheHits:    cacheHits,
+		CacheMisses:  cacheMisses,
+		Evictions:    stats.Evicted,
+		Singleflight: stats.Waits,
+	}
+
+	// Gates.
+	var failures []string
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+	}
+	check(hit.OK > 0, "hit phase completed no requests")
+	check(miss.OK > 0, "miss phase completed no requests")
+	check(hit.P50Ms*10 <= miss.P50Ms,
+		"cache-hit P50 %.3fms is not ≥10x below miss P50 %.3fms", hit.P50Ms, miss.P50Ms)
+	check(cacheMisses == int64(len(templates)),
+		"plancache.misses=%d, want exactly one optimization per distinct template (%d)", cacheMisses, len(templates))
+	check(cacheHits >= int64(hit.OK),
+		"plancache.hits=%d < hit-phase completions %d", cacheHits, hit.OK)
+	check(hit.Shed == 0 && hit.Errors == 0,
+		"hit phase saw %d sheds and %d errors at the nominal rate", hit.Shed, hit.Errors)
+	check(burst.Shed > 0, "burst beyond the admission bound shed nothing — queue bound not exercised")
+	check(burst.Errors == 0,
+		"burst produced %d untyped errors (want typed shed/deadline only)", burst.Errors)
+	check(overload.Errors == 0,
+		"overload produced %d untyped errors (want typed shed/deadline only)", overload.Errors)
+	check(drained, "goroutines did not return to baseline after shutdown")
+
+	report.Gates = gateSummaries(failures)
+	if err := benchgate.WriteJSON(*out, report); err != nil {
+		fmt.Fprintf(stderr, "benchserve: write %s: %v\n", *out, err)
+		return exitRuntime
+	}
+	fmt.Fprintf(stdout, "wrote %s (hits=%d misses=%d evictions=%d singleflight=%d)\n",
+		*out, cacheHits, cacheMisses, stats.Evicted, stats.Waits)
+	for _, f := range failures {
+		fmt.Fprintf(stderr, "FAIL %s\n", f)
+	}
+	if len(failures) > 0 {
+		return exitGate
+	}
+	fmt.Fprintln(stdout, "benchserve: all gates passed")
+	return exitOK
+}
+
+// template is one distinct query shape; sql() fills fresh random
+// constants so repeated requests share the parameterized plan but not
+// the literals.
+type template struct {
+	text string // with %d verbs for the constants
+	args int
+	doms []int // domain size per constant
+}
+
+func (t template) sql(rng *rand.Rand) string {
+	vals := make([]any, t.args)
+	for i := range vals {
+		vals[i] = rng.Intn(t.doms[i])
+	}
+	return fmt.Sprintf(t.text, vals...)
+}
+
+// templates are the distinct shapes served. The 6-relation chain is
+// the Q5-shaped headline workload: its optimization is ms-scale while
+// its execution is sub-ms, which is exactly the regime where the plan
+// cache's ≥10x hit/miss gap must show. The others prove the cache
+// keys templates apart.
+var templates = []template{
+	{
+		text: "select r1.x from r1, r2, r3, r4, r5, r6 " +
+			"where r1.x = r2.x and r2.x = r3.x and r3.y = r4.y and r4.x = r5.x and r5.y = r6.y " +
+			"and r1.y = %d and r6.x = %d",
+		args: 2, doms: []int{6, 9},
+	},
+	{
+		text: "select r1.x from r1, r2, r3, r4, r5 " +
+			"where r1.x = r2.x and r2.y = r3.y and r3.x = r4.x and r4.y = r5.y and r2.x = %d",
+		args: 1, doms: []int{9},
+	},
+	{
+		text: "select r1.y, count(*) as n from r1 left join r2 on r1.x = r2.x " +
+			"where r1.y >= %d group by r1.y",
+		args: 1, doms: []int{6},
+	},
+}
+
+// result is one request's outcome.
+type result struct {
+	latency time.Duration
+	outcome string // "ok", "shed", "deadline", "budget", "error"
+	cache   string
+	errMsg  string
+}
+
+// gen drives one server.
+type gen struct {
+	base   string
+	client *http.Client
+	rng    *rand.Rand
+}
+
+// send posts one query and classifies the response.
+func (g *gen) send(sql, cache string) result {
+	start := time.Now()
+	body, _ := json.Marshal(map[string]string{"sql": sql, "cache": cache})
+	resp, err := g.client.Post(g.base+"/query", "application/json", bytes.NewReader(body))
+	lat := time.Since(start)
+	if err != nil {
+		return result{latency: lat, outcome: "error", errMsg: err.Error()}
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var r struct {
+			Cache string `json:"cache"`
+		}
+		json.NewDecoder(resp.Body).Decode(&r)
+		return result{latency: lat, outcome: "ok", cache: r.Cache}
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		return result{latency: lat, outcome: "shed"}
+	case http.StatusGatewayTimeout:
+		io.Copy(io.Discard, resp.Body)
+		return result{latency: lat, outcome: "deadline"}
+	case http.StatusUnprocessableEntity:
+		io.Copy(io.Discard, resp.Body)
+		return result{latency: lat, outcome: "budget"}
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return result{latency: lat, outcome: "error", errMsg: fmt.Sprintf("http %d: %s", resp.StatusCode, msg)}
+	}
+}
+
+// phaseStats summarizes one phase.
+type phaseStats struct {
+	Name       string  `json:"name"`
+	RatePerSec float64 `json:"ratePerSec"`
+	Sent       int     `json:"sent"`
+	OK         int     `json:"ok"`
+	Shed       int     `json:"shed"`
+	Deadline   int     `json:"deadline"`
+	Errors     int     `json:"errors"`
+	P50Ms      float64 `json:"p50Ms"`
+	P95Ms      float64 `json:"p95Ms"`
+	P99Ms      float64 `json:"p99Ms"`
+	Throughput float64 `json:"okPerSec"`
+}
+
+func (p phaseStats) String() string {
+	return fmt.Sprintf("%-9s rate=%6.1f/s sent=%4d ok=%4d shed=%4d deadline=%d err=%d  p50=%7.3fms p95=%7.3fms p99=%7.3fms",
+		p.Name, p.RatePerSec, p.Sent, p.OK, p.Shed, p.Deadline, p.Errors, p.P50Ms, p.P95Ms, p.P99Ms)
+}
+
+// openLoop fires requests at a fixed arrival rate for dur, regardless
+// of how fast responses come back (arrivals are never gated on
+// completions — the defining property of an open-loop generator), then
+// waits for the stragglers and summarizes.
+func (g *gen) openLoop(name string, ratePerSec float64, dur time.Duration, next func(*rand.Rand) (sql, cache string)) phaseStats {
+	interval := time.Duration(float64(time.Second) / ratePerSec)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	var mu sync.Mutex
+	var results []result
+	var wg sync.WaitGroup
+	// Each in-flight request owns a private rng seed; the arrival loop
+	// owns the shared one.
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.After(dur)
+	sent := 0
+	start := time.Now()
+loop:
+	for {
+		select {
+		case <-deadline:
+			break loop
+		case <-ticker.C:
+			sql, cache := next(g.rng)
+			sent++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r := g.send(sql, cache)
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	stats := phaseStats{Name: name, RatePerSec: ratePerSec, Sent: sent}
+	var okLat []time.Duration
+	for _, r := range results {
+		switch r.outcome {
+		case "ok":
+			stats.OK++
+			okLat = append(okLat, r.latency)
+		case "shed":
+			stats.Shed++
+		case "deadline":
+			stats.Deadline++
+		default:
+			stats.Errors++
+		}
+	}
+	stats.P50Ms = pctMs(okLat, 0.50)
+	stats.P95Ms = pctMs(okLat, 0.95)
+	stats.P99Ms = pctMs(okLat, 0.99)
+	stats.Throughput = float64(stats.OK) / elapsed.Seconds()
+	return stats
+}
+
+// burst fires n bypass requests simultaneously and summarizes the
+// outcomes. With n above the server's admission bound, the excess must
+// come back as typed 429s.
+func (g *gen) burst(n int) phaseStats {
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = g.send(templates[rng.Intn(len(templates))].sql(rng), "bypass")
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	stats := phaseStats{Name: "burst", Sent: n}
+	var okLat []time.Duration
+	for _, r := range results {
+		switch r.outcome {
+		case "ok":
+			stats.OK++
+			okLat = append(okLat, r.latency)
+		case "shed":
+			stats.Shed++
+		case "deadline":
+			stats.Deadline++
+		default:
+			stats.Errors++
+		}
+	}
+	stats.P50Ms = pctMs(okLat, 0.50)
+	stats.P95Ms = pctMs(okLat, 0.95)
+	stats.P99Ms = pctMs(okLat, 0.99)
+	stats.Throughput = float64(stats.OK) / elapsed.Seconds()
+	return stats
+}
+
+// probeSaturation runs workers closed-loop bypass requests and returns
+// the completion rate — the service's approximate capacity on the
+// expensive path.
+func (g *gen) probeSaturation(workers int, dur time.Duration) float64 {
+	var done sync.WaitGroup
+	var completed int64
+	var mu sync.Mutex
+	// A closed channel, not time.After: every worker must observe the
+	// stop signal (a timer channel delivers exactly one value).
+	stop := make(chan struct{})
+	time.AfterFunc(dur, func() { close(stop) })
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		done.Add(1)
+		rng := rand.New(rand.NewSource(int64(100 + w)))
+		go func() {
+			defer done.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r := g.send(templates[rng.Intn(len(templates))].sql(rng), "bypass")
+				if r.outcome == "ok" {
+					mu.Lock()
+					completed++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	done.Wait()
+	rate := float64(completed) / time.Since(start).Seconds()
+	if rate < 1 {
+		rate = 1
+	}
+	return rate
+}
+
+func pctMs(lat []time.Duration, p float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := int(p * float64(len(lat)-1))
+	return float64(lat[idx].Nanoseconds()) / 1e6
+}
+
+// scrapeMetrics fetches and strictly validates the exposition.
+func scrapeMetrics(client *http.Client, base string) (map[string]*obs.PromFamily, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return obs.ParseExposition(resp.Body)
+}
+
+// promCounter reads one unlabelled counter sample (counters expose as
+// name_total).
+func promCounter(families map[string]*obs.PromFamily, name string) int64 {
+	f, ok := families[name+"_total"]
+	if !ok || len(f.Samples) == 0 {
+		return 0
+	}
+	return int64(f.Samples[0].Value)
+}
+
+// waitGoroutines polls until the goroutine count drops to max.
+func waitGoroutines(max int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= max {
+			return true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return runtime.NumGoroutine() <= max
+}
+
+// serveReport is BENCH_serve.json.
+type serveReport struct {
+	GoMaxProcs   int                      `json:"gomaxprocs"`
+	GoVersion    string                   `json:"goVersion"`
+	Templates    int                      `json:"templates"`
+	SatRate      float64                  `json:"saturationPerSec"`
+	Seeds        []benchgate.SeedBaseline `json:"seedBaselines"`
+	Phases       []phaseStats             `json:"phases"`
+	CacheHits    int64                    `json:"plancacheHits"`
+	CacheMisses  int64                    `json:"plancacheMisses"`
+	Evictions    int64                    `json:"plancacheEvictions"`
+	Singleflight int64                    `json:"plancacheSingleflightWaits"`
+	Gates        []string                 `json:"gates"`
+}
+
+// seedBaselines are the first measurements on the machine this
+// benchmark was introduced on, kept for drift comparison.
+var seedBaselines = []benchgate.SeedBaseline{
+	{Name: "serveHitP50", MsPerOp: 11.7, Note: "PR8 seed: cache-hit P50 at 40/s on the 6-relation chain (1-core container)"},
+	{Name: "serveMissP50", MsPerOp: 1563.2, Note: "PR8 seed: bypass P50 at 2/s (full optimization per request, 1-core container)"},
+}
+
+// gateSummaries renders the gate outcomes for the report.
+func gateSummaries(failures []string) []string {
+	if len(failures) == 0 {
+		return []string{"ok: hit P50 ≥10x below miss P50", "ok: one optimization per template", "ok: typed outcomes only under 2x saturation", "ok: burst beyond admission bound shed typed 429s", "ok: goroutines drained"}
+	}
+	out := make([]string, len(failures))
+	for i, f := range failures {
+		out[i] = "fail: " + f
+	}
+	return out
+}
+
+// demoDB mirrors reorderd -demo: r1..r7, 50 rows, int x (0..8) and
+// y (0..5).
+func demoDB() reorder.Database {
+	db := reorder.Database{}
+	for i := 1; i <= 7; i++ {
+		name := fmt.Sprintf("r%d", i)
+		b := relation.NewBuilder(name, "x", "y")
+		for j := 0; j < 50; j++ {
+			b.Row(value.NewInt(int64(j%9)), value.NewInt(int64(j%6)))
+		}
+		db[name] = b.Relation()
+	}
+	return db
+}

@@ -183,6 +183,13 @@ func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.
 		node:         res.Best.Plan,
 		ann:          ann,
 	}
+	// Queue wait, when a serving layer admitted this run, leads the
+	// phase list: it is wall time the client experienced before any
+	// optimizer work, and surfacing it is what makes shed decisions
+	// explainable from a single report.
+	if qw := b.QueueWait(); qw > 0 {
+		r.Phases = append(r.Phases, PhaseNs{Name: "queued", Ns: qw.Nanoseconds()})
+	}
 	for _, p := range res.Phases {
 		r.Phases = append(r.Phases, PhaseNs{Name: p.Name, Ns: p.Elapsed.Nanoseconds()})
 	}

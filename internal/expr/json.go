@@ -14,6 +14,7 @@ import (
 //	{"kind":"col","rel":"r1","col":"x","virtual":false}
 //	{"kind":"const","type":"INT","value":"42"}
 //	{"kind":"arith","op":"*","l":…,"r":…}
+//	{"kind":"param","idx":1}
 //	{"kind":"cmp","op":"<=","l":…,"r":…}
 //	{"kind":"and","preds":[…]}  {"kind":"or","preds":[…]}
 //	{"kind":"not","pred":…}     {"kind":"true"}
@@ -26,6 +27,7 @@ type jsonExpr struct {
 	Type    string            `json:"type,omitempty"`
 	Value   string            `json:"value,omitempty"`
 	Op      string            `json:"op,omitempty"`
+	Idx     int               `json:"idx,omitempty"`
 	L       json.RawMessage   `json:"l,omitempty"`
 	R       json.RawMessage   `json:"r,omitempty"`
 	Pred    json.RawMessage   `json:"pred,omitempty"`
@@ -39,6 +41,8 @@ func EncodeScalar(s Scalar) ([]byte, error) {
 		return json.Marshal(jsonExpr{Kind: "col", Rel: x.Attr.Rel, Col: x.Attr.Col, Virtual: x.Attr.Virtual})
 	case Const:
 		return json.Marshal(jsonExpr{Kind: "const", Type: x.Val.Kind().String(), Value: x.Val.String()})
+	case Param:
+		return json.Marshal(jsonExpr{Kind: "param", Idx: x.Idx})
 	case Arith:
 		l, err := EncodeScalar(x.L)
 		if err != nil {
@@ -69,6 +73,11 @@ func DecodeScalar(data []byte) (Scalar, error) {
 			return nil, err
 		}
 		return Const{Val: v}, nil
+	case "param":
+		if j.Idx < 1 {
+			return nil, fmt.Errorf("expr: bad parameter index %d", j.Idx)
+		}
+		return Param{Idx: j.Idx}, nil
 	case "arith":
 		op, err := arithOpOf(j.Op)
 		if err != nil {

@@ -51,6 +51,19 @@ const (
 	// PointSpillRead fires as each spilled partition is read back for
 	// joining (or recursive re-partitioning).
 	PointSpillRead Point = "exec.spill.read"
+	// PointServeAdmit fires as the query service admits a request,
+	// before it is queued for a concurrency slot. An injected fault
+	// here must surface as a typed client error without consuming a
+	// queue slot.
+	PointServeAdmit Point = "serve.admit"
+	// PointCacheLookup fires on every plan-cache lookup, before the
+	// shard is consulted.
+	PointCacheLookup Point = "plancache.lookup"
+	// PointCacheInsert fires before a freshly optimized plan is
+	// inserted into the cache. A fault here fails the building request
+	// but must release the singleflight so waiters and later requests
+	// are not wedged.
+	PointCacheInsert Point = "plancache.insert"
 )
 
 // Points returns every registered fault point, sorted.
@@ -68,6 +81,9 @@ func Points() []Point {
 		PointDatagenBatch,
 		PointSpillWrite,
 		PointSpillRead,
+		PointServeAdmit,
+		PointCacheLookup,
+		PointCacheInsert,
 	}
 	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
 	return pts

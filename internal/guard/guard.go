@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -158,6 +159,7 @@ type Budget struct {
 	used      [numKinds]atomic.Int64
 	tripped   [numKinds]atomic.Bool
 	cancelled atomic.Bool
+	queuedNs  atomic.Int64
 }
 
 // New builds a budget. ctx may be nil (never cancelled); reg receives
@@ -307,6 +309,29 @@ func (b *Budget) BytesFree() (free int64, limited bool) {
 		free = 0
 	}
 	return free, true
+}
+
+// AddQueueWait records time this run spent admitted-but-queued by a
+// serving layer's admission controller, before any optimizer or
+// executor work started. The wait is surfaced three ways so shed
+// decisions are observable: QueueWait (EXPLAIN ANALYZE's "queued"
+// phase), the guard.queue_wait_milli histogram on the budget's
+// registry, and whatever queue-depth gauges the admitting layer keeps.
+func (b *Budget) AddQueueWait(d time.Duration) {
+	if b == nil || d <= 0 {
+		return
+	}
+	b.queuedNs.Add(int64(d))
+	b.reg.Histogram("guard.queue_wait_milli").Observe(d.Milliseconds())
+}
+
+// QueueWait returns the cumulative admission-queue wait recorded for
+// this run (zero for a nil budget).
+func (b *Budget) QueueWait() time.Duration {
+	if b == nil {
+		return 0
+	}
+	return time.Duration(b.queuedNs.Load())
 }
 
 // ChargeOut charges one operator's materialized output — rows tuples

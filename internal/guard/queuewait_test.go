@@ -1,0 +1,51 @@
+package guard
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestAddQueueWait: admission-queue wait accumulates on the budget and
+// lands in the guard.queue_wait_milli histogram the serving layer
+// exposes.
+func TestAddQueueWait(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := New(context.Background(), Limits{}, reg)
+
+	if b.QueueWait() != 0 {
+		t.Fatal("fresh budget must report zero queue wait")
+	}
+	b.AddQueueWait(30 * time.Millisecond)
+	b.AddQueueWait(70 * time.Millisecond)
+	if got := b.QueueWait(); got != 100*time.Millisecond {
+		t.Fatalf("QueueWait = %v, want 100ms", got)
+	}
+
+	h := reg.Histogram("guard.queue_wait_milli")
+	if got := h.Count(); got != 2 {
+		t.Fatalf("histogram count = %d, want 2", got)
+	}
+
+	// Zero and negative waits are ignored, not observed.
+	b.AddQueueWait(0)
+	b.AddQueueWait(-time.Second)
+	if got := b.QueueWait(); got != 100*time.Millisecond {
+		t.Fatalf("QueueWait after no-op adds = %v, want 100ms", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Fatalf("histogram count after no-op adds = %d, want 2", got)
+	}
+}
+
+// TestAddQueueWaitNil: a nil budget (ungoverned run) absorbs queue
+// accounting without panicking, like every other Budget method.
+func TestAddQueueWaitNil(t *testing.T) {
+	var b *Budget
+	b.AddQueueWait(time.Millisecond)
+	if b.QueueWait() != 0 {
+		t.Fatal("nil budget must report zero queue wait")
+	}
+}

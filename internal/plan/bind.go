@@ -1,0 +1,170 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// BindParams returns a copy of n with every expr.Param{Idx: i}
+// replaced by expr.Const{Val: params[i-1]}. This is the hit path of
+// the plan cache: the optimizer runs once on the parameterized
+// template and each request rebinds its own constants into the cached
+// winner. Only the spine above a changed predicate is rebuilt —
+// untouched subtrees (and their cached fingerprints) are shared with
+// the template.
+//
+// A slot index outside 1..len(params) is an error: executing a plan
+// with an unbound parameter would silently compare against NULL.
+func BindParams(n Node, params []value.Value) (Node, error) {
+	var bindErr error
+	leaf := func(s expr.Scalar) expr.Scalar {
+		p, ok := s.(expr.Param)
+		if !ok {
+			return s
+		}
+		if p.Idx < 1 || p.Idx > len(params) {
+			if bindErr == nil {
+				bindErr = fmt.Errorf("plan: parameter $%d out of range (have %d)", p.Idx, len(params))
+			}
+			return s
+		}
+		return expr.Const{Val: params[p.Idx-1]}
+	}
+	out, _ := bindNode(n, leaf)
+	if bindErr != nil {
+		return nil, bindErr
+	}
+	return out, nil
+}
+
+// ParamCount returns the highest parameter slot index referenced
+// anywhere in n (0 for an unparameterized plan).
+func ParamCount(n Node) int {
+	max := 0
+	note := func(s expr.Scalar) {
+		if p, ok := s.(expr.Param); ok && p.Idx > max {
+			max = p.Idx
+		}
+	}
+	walkNodeScalars(n, note)
+	return max
+}
+
+// bindNode rewrites one node bottom-up, reporting whether anything
+// under it changed.
+func bindNode(n Node, leaf func(expr.Scalar) expr.Scalar) (Node, bool) {
+	switch x := n.(type) {
+	case *Scan:
+		return x, false
+	case *Join:
+		p, pc := expr.RewritePred(x.Pred, leaf)
+		l, lc := bindNode(x.L, leaf)
+		r, rc := bindNode(x.R, leaf)
+		if !pc && !lc && !rc {
+			return x, false
+		}
+		return NewJoin(x.Kind, p, l, r), true
+	case *Select:
+		p, pc := expr.RewritePred(x.Pred, leaf)
+		in, ic := bindNode(x.Input, leaf)
+		if !pc && !ic {
+			return x, false
+		}
+		return NewSelect(p, in), true
+	case *GenSel:
+		p, pc := expr.RewritePred(x.Pred, leaf)
+		in, ic := bindNode(x.Input, leaf)
+		if !pc && !ic {
+			return x, false
+		}
+		return &GenSel{Pred: p, Preserved: x.Preserved, Input: in}, true
+	case *MGOJNode:
+		p, pc := expr.RewritePred(x.Pred, leaf)
+		l, lc := bindNode(x.L, leaf)
+		r, rc := bindNode(x.R, leaf)
+		if !pc && !lc && !rc {
+			return x, false
+		}
+		return &MGOJNode{Pred: p, Preserved: x.Preserved, L: l, R: r}, true
+	case *GroupBy:
+		aggs, ac := bindAggs(x.Aggs, leaf)
+		in, ic := bindNode(x.Input, leaf)
+		if !ac && !ic {
+			return x, false
+		}
+		return NewGroupBy(x.Keys, aggs, in), true
+	case *Project:
+		in, ic := bindNode(x.Input, leaf)
+		if !ic {
+			return x, false
+		}
+		return NewProject(x.Attrs, x.Distinct, in), true
+	case *Sort:
+		in, ic := bindNode(x.Input, leaf)
+		if !ic {
+			return x, false
+		}
+		return NewSort(x.Keys, x.Limit, in), true
+	default:
+		// Unknown node kinds pass through children generically.
+		ch := n.Children()
+		if len(ch) == 0 {
+			return n, false
+		}
+		changed := false
+		out := make([]Node, len(ch))
+		for i, c := range ch {
+			nc, cc := bindNode(c, leaf)
+			out[i] = nc
+			changed = changed || cc
+		}
+		if !changed {
+			return n, false
+		}
+		return n.WithChildren(out), true
+	}
+}
+
+func bindAggs(aggs []algebra.Aggregate, leaf func(expr.Scalar) expr.Scalar) ([]algebra.Aggregate, bool) {
+	changed := false
+	out := make([]algebra.Aggregate, len(aggs))
+	for i, a := range aggs {
+		out[i] = a
+		if a.Arg != nil {
+			s, c := expr.RewriteScalar(a.Arg, leaf)
+			out[i].Arg = s
+			changed = changed || c
+		}
+	}
+	if !changed {
+		return aggs, false
+	}
+	return out, true
+}
+
+// walkNodeScalars visits every scalar leaf in every predicate and
+// aggregate argument of the tree.
+func walkNodeScalars(n Node, f func(expr.Scalar)) {
+	switch x := n.(type) {
+	case *Join:
+		expr.WalkScalars(x.Pred, f)
+	case *Select:
+		expr.WalkScalars(x.Pred, f)
+	case *GenSel:
+		expr.WalkScalars(x.Pred, f)
+	case *MGOJNode:
+		expr.WalkScalars(x.Pred, f)
+	case *GroupBy:
+		for _, a := range x.Aggs {
+			if a.Arg != nil {
+				expr.WalkScalarLeaves(a.Arg, f)
+			}
+		}
+	}
+	for _, c := range n.Children() {
+		walkNodeScalars(c, f)
+	}
+}

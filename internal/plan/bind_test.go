@@ -1,0 +1,122 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// bindFixture: Join(r1.x = r2.x) under Select(r1.y = $1) with a second
+// Select(r2.y = $2) on the right input — two parameter slots in
+// different spines with a param-free join subtree between them.
+func bindFixture() Node {
+	return NewSelect(
+		expr.Cmp{Op: value.EQ, L: expr.Column("r1", "y"), R: expr.Param{Idx: 1}},
+		NewJoin(InnerJoin,
+			expr.Cmp{Op: value.EQ, L: expr.Column("r1", "x"), R: expr.Column("r2", "x")},
+			NewScan("r1"),
+			NewSelect(
+				expr.Cmp{Op: value.LT, L: expr.Column("r2", "y"), R: expr.Param{Idx: 2}},
+				NewScan("r2"),
+			),
+		),
+	)
+}
+
+func TestBindParamsEqualsDirectTree(t *testing.T) {
+	tmpl := bindFixture()
+	bound, err := BindParams(tmpl, []value.Value{value.NewInt(4), value.NewInt(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := NewSelect(
+		expr.Cmp{Op: value.EQ, L: expr.Column("r1", "y"), R: expr.Int(4)},
+		NewJoin(InnerJoin,
+			expr.Cmp{Op: value.EQ, L: expr.Column("r1", "x"), R: expr.Column("r2", "x")},
+			NewScan("r1"),
+			NewSelect(
+				expr.Cmp{Op: value.LT, L: expr.Column("r2", "y"), R: expr.Int(7)},
+				NewScan("r2"),
+			),
+		),
+	)
+	if Key(bound) != Key(direct) {
+		t.Fatalf("bound key != direct key:\n  bound  %s\n  direct %s", Key(bound), Key(direct))
+	}
+	if Fingerprint(bound) != Fingerprint(direct) {
+		t.Fatal("fingerprints diverge for identical trees")
+	}
+	// The template is untouched: its key still renders the $n slots.
+	if k := Key(tmpl); !strings.Contains(k, "$1") || !strings.Contains(k, "$2") {
+		t.Fatalf("template mutated by BindParams: %s", k)
+	}
+}
+
+// TestBindParamsSharesUnchangedSubtrees: rebinding rebuilds only the
+// spine above changed predicates; param-free subtrees are shared
+// pointer-identically with the template, so their cached fingerprints
+// carry over to every bound plan.
+func TestBindParamsSharesUnchangedSubtrees(t *testing.T) {
+	tmpl := bindFixture().(*Select)
+	join := tmpl.Input.(*Join)
+
+	bound, err := BindParams(tmpl, []value.Value{value.NewInt(1), value.NewInt(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj := bound.(*Select).Input.(*Join)
+	if bj == join {
+		t.Fatal("join spine must be rebuilt: its right input holds $2")
+	}
+	if bj.L != join.L {
+		t.Fatal("param-free left scan must be shared with the template")
+	}
+	if bj.R == join.R {
+		t.Fatal("right input holds $2 and must be rebuilt")
+	}
+	if bj.R.(*Select).Input != join.R.(*Select).Input {
+		t.Fatal("scan under the parameterized select must be shared")
+	}
+
+	// A tree with no params at all comes back as-is.
+	free := NewSelect(
+		expr.Cmp{Op: value.EQ, L: expr.Column("r1", "y"), R: expr.Int(3)},
+		NewScan("r1"),
+	)
+	same, err := BindParams(free, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != Node(free) {
+		t.Fatal("param-free tree must be returned unchanged")
+	}
+}
+
+func TestBindParamsOutOfRange(t *testing.T) {
+	tmpl := bindFixture()
+	// Two slots, one value: binding must fail closed, not compare
+	// against NULL at runtime.
+	if _, err := BindParams(tmpl, []value.Value{value.NewInt(4)}); err == nil {
+		t.Fatal("want out-of-range error for $2 with 1 param")
+	} else if !strings.Contains(err.Error(), "$2") {
+		t.Fatalf("error should name the slot: %v", err)
+	}
+	if _, err := BindParams(tmpl, nil); err == nil {
+		t.Fatal("want out-of-range error with no params")
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	if got := ParamCount(bindFixture()); got != 2 {
+		t.Fatalf("ParamCount = %d, want 2", got)
+	}
+	free := NewSelect(
+		expr.Cmp{Op: value.EQ, L: expr.Column("r1", "y"), R: expr.Int(3)},
+		NewScan("r1"),
+	)
+	if got := ParamCount(free); got != 0 {
+		t.Fatalf("ParamCount on param-free tree = %d, want 0", got)
+	}
+}

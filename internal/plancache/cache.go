@@ -1,0 +1,389 @@
+// Package plancache is a sharded, byte-bounded, concurrent cache of
+// optimized plans keyed by the canonical fingerprint (plan.Key) of a
+// parameterized query template. It is the serving layer's amortizer:
+// the optimizer runs once per distinct template, and every later
+// request with the same shape binds its constants into the cached
+// winner and goes straight to execution.
+//
+// Keying is deliberately syntactic. Two queries share an entry exactly
+// when their parameterized lowered trees render to the same canonical
+// key; semantic equivalence (same answers, different syntax) is
+// undecidable in general and is not attempted. The full key string is
+// compared on lookup — the 64-bit fingerprint hash only picks the
+// shard — so hash collisions cannot alias plans.
+//
+// Concurrency: each shard is an independent mutex-protected LRU, and a
+// per-shard singleflight table collapses concurrent misses on the same
+// key into one optimizer run. The build function runs outside the
+// shard lock, so a slow optimization never blocks hits on other keys
+// in the same shard, and its completion signal is delivered via a
+// deferred channel close — an injected error or panic in the build
+// path releases all waiters rather than wedging them.
+package plancache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/guard"
+	"repro/internal/obs"
+)
+
+// Status classifies the outcome of one cache access.
+type Status uint8
+
+// The access outcomes.
+const (
+	// Hit: the key was cached; no optimization ran.
+	Hit Status = iota
+	// Miss: this caller ran the build and (on success) inserted.
+	Miss
+	// Shared: another caller was already building the key; this one
+	// waited and shares its result without running the build.
+	Shared
+)
+
+// String returns the status label used in metrics and logs.
+func (s Status) String() string {
+	switch s {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Shared:
+		return "shared"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Entry is one cached plan. The value and cost are immutable after
+// insertion; callers must not mutate Value (plans are immutable trees,
+// so binding parameters builds new spines and never writes through).
+type Entry struct {
+	// Key is the full canonical template key (plan.Key of the
+	// parameterized tree).
+	Key string
+	// Hash is the template fingerprint used for shard selection.
+	Hash uint64
+	// Value is the cached artifact — for the query service, the
+	// optimized parameterized plan plus binding metadata.
+	Value any
+	// Bytes is the caller-estimated footprint charged against the
+	// cache's byte budget.
+	Bytes int64
+}
+
+// Cache is the sharded plan cache. The zero value is not usable; call
+// New.
+type Cache struct {
+	shards [numShards]shard
+	reg    *obs.Registry
+
+	hits    *obs.Counter
+	misses  *obs.Counter
+	evicts  *obs.Counter
+	waits   *obs.Counter
+	bytes   *obs.Gauge
+	entries *obs.Gauge
+}
+
+const numShards = 16
+
+// New builds a cache bounded to roughly maxBytes across all shards
+// (each shard holds at most maxBytes/16, and always retains its most
+// recent entry even when that entry alone exceeds the shard budget, so
+// an oversized plan still serves instead of thrashing). reg receives
+// the plancache.* series and may be nil (obs.Default()).
+func New(maxBytes int64, reg *obs.Registry) *Cache {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	c := &Cache{
+		reg:     reg,
+		hits:    reg.Counter("plancache.hits"),
+		misses:  reg.Counter("plancache.misses"),
+		evicts:  reg.Counter("plancache.evictions"),
+		waits:   reg.Counter("plancache.singleflight_waits"),
+		bytes:   reg.Gauge("plancache.bytes"),
+		entries: reg.Gauge("plancache.entries"),
+	}
+	perShard := maxBytes / numShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	for i := range c.shards {
+		c.shards[i].init(perShard)
+	}
+	return c
+}
+
+// shard is one lock domain: an LRU list of entries plus the in-flight
+// build table.
+type shard struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[string]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode // least recently used
+	flights  map[string]*flight
+}
+
+// lruNode is an intrusive doubly-linked LRU element.
+type lruNode struct {
+	entry      *Entry
+	prev, next *lruNode
+}
+
+// flight is one in-progress build. done is closed (exactly once, via
+// defer) when the build finishes, after entry/err are set.
+type flight struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+func (s *shard) init(maxBytes int64) {
+	s.maxBytes = maxBytes
+	s.entries = make(map[string]*lruNode)
+	s.flights = make(map[string]*flight)
+}
+
+// Do returns the entry for key, building it at most once across
+// concurrent callers. On a hit the cached entry returns immediately.
+// On a miss this caller runs build (outside any lock) and inserts the
+// result; concurrent callers for the same key block until the build
+// finishes (or their ctx expires) and share its outcome — including
+// its error, which is returned to every waiter but never cached, so
+// the next request retries.
+func (c *Cache) Do(ctx context.Context, key string, hash uint64, build func() (any, int64, error)) (*Entry, Status, error) {
+	// Safely contains an injected panic at the lookup point into a
+	// typed error — the fault matrix requires every cache fault to
+	// surface as a classified client error, never a crash.
+	if err := guard.Safely("plancache.lookup", key, c.reg, func() error {
+		return guard.Hit(guard.PointCacheLookup)
+	}); err != nil {
+		return nil, Miss, err
+	}
+	s := &c.shards[hash%numShards]
+
+	s.mu.Lock()
+	if n, ok := s.entries[key]; ok {
+		s.moveToFront(n)
+		s.mu.Unlock()
+		c.hits.Inc()
+		return n.entry, Hit, nil
+	}
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		c.waits.Inc()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, Shared, f.err
+			}
+			c.hits.Inc()
+			return f.entry, Shared, nil
+		case <-ctx.Done():
+			return nil, Shared, fmt.Errorf("%w: %v", guard.ErrCancelled, ctx.Err())
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	c.misses.Inc()
+	var entry *Entry
+	var err error
+	// Resolve the flight no matter how the build ends: the deferred
+	// close runs even if this frame unwinds, so waiters are never
+	// wedged by a failing or panicking build.
+	func() {
+		defer func() {
+			f.entry, f.err = entry, err
+			close(f.done)
+			s.mu.Lock()
+			delete(s.flights, key)
+			s.mu.Unlock()
+		}()
+		entry, err = c.runBuild(s, key, hash, build)
+	}()
+	if err != nil {
+		return nil, Miss, err
+	}
+	return entry, Miss, nil
+}
+
+// runBuild executes the build outside the shard lock and inserts the
+// result. A panic inside build is contained into a typed error
+// (guard.PanicError via Safely) so the flight always resolves with a
+// classified outcome.
+func (c *Cache) runBuild(s *shard, key string, hash uint64, build func() (any, int64, error)) (*Entry, error) {
+	var entry *Entry
+	err := guard.Safely("plancache.build", key, c.reg, func() error {
+		value, bytes, err := build()
+		if err != nil {
+			return err
+		}
+		if err := guard.Hit(guard.PointCacheInsert); err != nil {
+			return err
+		}
+		entry = &Entry{Key: key, Hash: hash, Value: value, Bytes: bytes}
+		c.insert(s, entry)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return entry, nil
+}
+
+// insert adds the entry at the LRU front and evicts from the tail
+// until the shard fits its byte budget (always keeping the newest
+// entry).
+func (c *Cache) insert(s *shard, e *Entry) {
+	s.mu.Lock()
+	if old, ok := s.entries[e.Key]; ok {
+		// A racing build of the same key already inserted (possible
+		// when a build errors, the flight retires, and two fresh
+		// requests race). Replace, keeping byte accounting straight.
+		s.bytes -= old.entry.Bytes
+		old.entry = e
+		s.bytes += e.Bytes
+		s.moveToFront(old)
+		s.settleLocked(old)
+		s.mu.Unlock()
+		c.publishSize()
+		return
+	}
+	n := &lruNode{entry: e}
+	s.entries[e.Key] = n
+	s.pushFront(n)
+	s.bytes += e.Bytes
+	evicted := s.settleLocked(n)
+	s.mu.Unlock()
+	c.evicts.Add(int64(evicted))
+	c.publishSize()
+}
+
+// settleLocked evicts least-recently-used entries until the shard is
+// within budget, never evicting keep. Returns the eviction count.
+func (s *shard) settleLocked(keep *lruNode) int {
+	evicted := 0
+	for s.bytes > s.maxBytes && s.tail != nil && s.tail != keep {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.entries, victim.entry.Key)
+		s.bytes -= victim.entry.Bytes
+		evicted++
+	}
+	return evicted
+}
+
+func (s *shard) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+func (s *shard) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (s *shard) moveToFront(n *lruNode) {
+	if s.head == n {
+		return
+	}
+	s.unlink(n)
+	s.pushFront(n)
+}
+
+// publishSize refreshes the size gauges from all shards.
+func (c *Cache) publishSize() {
+	var bytes, entries int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		bytes += s.bytes
+		entries += int64(len(s.entries))
+		s.mu.Unlock()
+	}
+	c.bytes.Set(bytes)
+	c.entries.Set(entries)
+}
+
+// Lookup returns the cached entry without building on a miss.
+func (c *Cache) Lookup(key string, hash uint64) (*Entry, bool) {
+	s := &c.shards[hash%numShards]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.entries[key]; ok {
+		s.moveToFront(n)
+		return n.entry, true
+	}
+	return nil, false
+}
+
+// Len returns the number of cached entries across all shards.
+func (c *Cache) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += len(s.entries)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Bytes returns the cache's current charged footprint.
+func (c *Cache) Bytes() int64 {
+	var total int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.bytes
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Stats is a point-in-time summary for /debug/cache.
+type Stats struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Evicted int64 `json:"evictions"`
+	Waits   int64 `json:"singleflight_waits"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Entries: c.Len(),
+		Bytes:   c.Bytes(),
+		Hits:    c.hits.Value(),
+		Misses:  c.misses.Value(),
+		Evicted: c.evicts.Value(),
+		Waits:   c.waits.Value(),
+	}
+}

@@ -1,9 +1,19 @@
 package sql
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/plan"
+)
 
 // FuzzParse ensures the lexer and parser never panic on arbitrary
-// input — they must fail with errors.
+// input — they must fail with errors — and that for every input that
+// does parse, parameterization commutes with lowering: extracting the
+// literals into slots, lowering the template, and rebinding the values
+// at the plan level must reproduce the exact tree direct lowering
+// builds. This is the property the serving layer's plan cache rests
+// on: a cached template plan plus bound parameters is indistinguishable
+// from a freshly planned query.
 func FuzzParse(f *testing.F) {
 	for _, seed := range []string{
 		"select a from t",
@@ -16,13 +26,50 @@ func FuzzParse(f *testing.F) {
 		"select '' from t",
 		"(((((",
 		"select",
+		// Parameterization-relevant shapes: literals in projections,
+		// join conditions, HAVING, subqueries, and arithmetic.
+		"select a + 1 from t where b = 2",
+		"select t.a from t, s where t.a = s.a and t.b = 10 and s.c = 20",
+		"select v.a from (select a from t where b > 5) as v where v.a <> 0",
+		"select a, count(*) as n from t where b >= 1 group by a having count(*) > 1",
+		"select t.a from t where t.b = (select count(*) from s where s.a = t.a) and t.a < 5",
+		"select distinct a from t where a = '$1' order by a limit 3",
 	} {
 		f.Add(seed)
 	}
+	db := testDB()
 	f.Fuzz(func(t *testing.T, input string) {
 		stmt, err := Parse(input)
-		if err == nil && stmt != nil {
-			_ = stmt.String() // rendering must not panic either
+		if err != nil || stmt == nil {
+			return
+		}
+		_ = stmt.String() // rendering must not panic
+
+		tmpl, params := Parameterize(stmt)
+		_ = tmpl.String()
+		if rebound := BindLiterals(tmpl, params); rebound.String() != stmt.String() {
+			t.Fatalf("BindLiterals(Parameterize(x)) != x:\n  got  %s\n  want %s",
+				rebound, stmt)
+		}
+
+		// Lowering either fails the same way for statement and template
+		// (structure, not literal values, decides lowerability), or
+		// succeeds for both with identical trees after rebinding.
+		direct, derr := Lower(stmt, db)
+		lowered, terr := Lower(tmpl, db)
+		if (derr == nil) != (terr == nil) {
+			t.Fatalf("lowerability diverged: direct err=%v, template err=%v for %q", derr, terr, input)
+		}
+		if derr != nil {
+			return
+		}
+		bound, err := plan.BindParams(lowered, params)
+		if err != nil {
+			t.Fatalf("bind after lowering %q: %v", input, err)
+		}
+		if plan.Key(bound) != plan.Key(direct) {
+			t.Fatalf("parameterize→lower→bind differs from direct lowering for %q:\n  bound  %s\n  direct %s",
+				input, plan.Key(bound), plan.Key(direct))
 		}
 	})
 }

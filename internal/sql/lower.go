@@ -467,6 +467,8 @@ func (l *lowerer) lowerScalar(e Expr, sc *scope, aggOut func(AggCall, string) (s
 		return expr.Col{Attr: a}, nil
 	case Lit:
 		return expr.Const{Val: x.Val}, nil
+	case Param:
+		return expr.Param{Idx: x.Idx}, nil
 	case AggCall:
 		if aggOut == nil {
 			return nil, fmt.Errorf("sql: aggregate %s not allowed here", x)

@@ -1,0 +1,467 @@
+// Service is the long-running query-serving layer: admission control
+// in front, the fingerprint-keyed plan cache in the middle, the
+// budgeted executor at the back. The design premise follows the paper:
+// optimization is the expensive step worth doing well once, so the
+// service parameterizes every incoming query (literals become $n
+// slots), optimizes the parameterized template exactly once per
+// distinct shape, and serves every later request with the same shape
+// by binding its constants into the cached winner.
+package reorder
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/guard"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/plancache"
+	"repro/internal/sql"
+	"repro/internal/stats"
+	"repro/internal/value"
+)
+
+// ErrOverloaded is the typed load-shed error: the admission queue is
+// full and the request was rejected without consuming any optimizer or
+// executor resources. Clients should back off; the HTTP layer maps it
+// to 429.
+var ErrOverloaded = errors.New("reorder: server overloaded, request shed")
+
+// ServiceConfig configures NewService. The zero value of each field
+// selects a sensible default.
+type ServiceConfig struct {
+	// DB is the database served. Required.
+	DB Database
+	// CacheBytes bounds the plan cache's estimated footprint
+	// (default 64 MiB).
+	CacheBytes int64
+	// MaxConcurrent caps requests inside the optimize/execute section
+	// (default 8).
+	MaxConcurrent int
+	// MaxQueue caps requests waiting for a concurrency slot; arrivals
+	// beyond MaxConcurrent+MaxQueue are shed with ErrOverloaded
+	// (default 4×MaxConcurrent).
+	MaxQueue int
+	// DefaultTimeout bounds a request that carries no deadline of its
+	// own (default 5s; ≤0 keeps the default).
+	DefaultTimeout time.Duration
+	// DefaultLimits is the per-request budget for tenants without an
+	// entry in Tenants (zero = unlimited).
+	DefaultLimits Limits
+	// Tenants maps tenant names to their per-request budgets.
+	Tenants map[string]Limits
+	// Workers is the optimizer's worker count (0 = serial).
+	Workers int
+	// MaxPlans caps optimizer enumeration (0 = optimizer default).
+	MaxPlans int
+	// FlightCap sizes the flight recorder ring (0 = default).
+	FlightCap int
+}
+
+// Service serves parameterized SQL over an in-memory database with a
+// shared plan cache and admission control. Safe for concurrent use.
+type Service struct {
+	cfg   ServiceConfig
+	db    Database
+	est   *stats.Estimator
+	cache *plancache.Cache
+	ob    *Observer
+
+	sem      chan struct{} // concurrency slots
+	inflight atomic.Int64  // waiting + running, bounded by slots+queue
+
+	queueDepth *obs.Gauge
+	shed       *obs.Counter
+	requests   *obs.CounterVec
+}
+
+// NewService builds a serving facade over cfg.DB. Statistics are
+// computed once up front (the catalog is exact, so this is the
+// service's ANALYZE step) and shared by every optimization.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	if len(cfg.DB) == 0 {
+		return nil, fmt.Errorf("reorder: ServiceConfig.DB is required")
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 8
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxConcurrent
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 5 * time.Second
+	}
+	ob := NewObserver(cfg.FlightCap)
+	s := &Service{
+		cfg:        cfg,
+		db:         cfg.DB,
+		est:        stats.NewEstimator(stats.FromDatabase(cfg.DB)),
+		cache:      plancache.New(cfg.CacheBytes, ob.Registry),
+		ob:         ob,
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		queueDepth: ob.Registry.Gauge("serve.queue_depth"),
+		shed:       ob.Registry.Counter("serve.shed"),
+		requests:   ob.Registry.CounterVec("serve.requests", "outcome"),
+	}
+	return s, nil
+}
+
+// Observer exposes the service's metrics registry and flight recorder
+// (the same instance backing its /metrics and /debug/queries routes).
+func (s *Service) Observer() *Observer { return s.ob }
+
+// CacheStats snapshots the plan cache.
+func (s *Service) CacheStats() plancache.Stats { return s.cache.Stats() }
+
+// Request is one query submission.
+type Request struct {
+	// SQL is the query text with inline literals.
+	SQL string `json:"sql"`
+	// Tenant selects the per-tenant budget ("" = DefaultLimits).
+	Tenant string `json:"tenant,omitempty"`
+	// TimeoutMillis bounds the request end to end; 0 uses the
+	// service default, and values above the default are clamped to it
+	// (the client cannot opt out of the server's ceiling).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// Cache selects cache behavior: "" serves through the plan cache,
+	// "bypass" optimizes from scratch without touching the cache
+	// (benchserve uses this to measure the miss path).
+	Cache string `json:"cache,omitempty"`
+}
+
+// Response is one query result with serving metadata.
+type Response struct {
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+	// CacheStatus is "hit", "miss", "shared" (waited on another
+	// request's optimization of the same template) or "bypass".
+	CacheStatus string `json:"cache"`
+	// PlanKey is the executed plan's canonical fingerprint.
+	PlanKey string `json:"plan_key"`
+	// Params is the number of literals normalized into slots.
+	Params int `json:"params"`
+	// Degraded carries the optimizer's degradation reason when the
+	// cached plan came from a budget-degraded optimization.
+	Degraded string `json:"degraded,omitempty"`
+	// Phase timings in nanoseconds.
+	QueuedNs   int64 `json:"queued_ns"`
+	OptimizeNs int64 `json:"optimize_ns"`
+	BindNs     int64 `json:"bind_ns"`
+	ExecNs     int64 `json:"exec_ns"`
+}
+
+// ServeError is a classified request failure. Code is stable and
+// machine-readable; HTTPStatus is the status the HTTP layer maps it
+// to.
+type ServeError struct {
+	Code       string
+	HTTPStatus int
+	Err        error
+}
+
+// Error implements error.
+func (e *ServeError) Error() string { return e.Code + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ServeError) Unwrap() error { return e.Err }
+
+// classify wraps err with its serving taxonomy. parseStage marks
+// failures before any plan existed (client's query text is at fault).
+func classify(err error, parseStage bool) *ServeError {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return &ServeError{Code: "overloaded", HTTPStatus: 429, Err: err}
+	case guard.IsCancelled(err):
+		return &ServeError{Code: "deadline", HTTPStatus: 504, Err: err}
+	case guard.IsBudget(err):
+		return &ServeError{Code: "budget", HTTPStatus: 422, Err: err}
+	case guard.IsInjected(err):
+		return &ServeError{Code: "injected", HTTPStatus: 500, Err: err}
+	case guard.IsPanic(err):
+		return &ServeError{Code: "panic", HTTPStatus: 500, Err: err}
+	case parseStage:
+		return &ServeError{Code: "bad_query", HTTPStatus: 400, Err: err}
+	default:
+		return &ServeError{Code: "internal", HTTPStatus: 500, Err: err}
+	}
+}
+
+// cachedPlan is the plan cache's value: the optimized parameterized
+// template plus binding metadata. Immutable after insertion.
+type cachedPlan struct {
+	plan     plan.Node
+	nparams  int
+	degraded string
+}
+
+// planBytes estimates a cached plan's footprint for the cache's byte
+// budget: the canonical key is a fair proxy for tree size (every node
+// and predicate renders into it), multiplied by an assumed per-byte
+// overhead for the node structures themselves.
+func planBytes(key string, planKey string) int64 {
+	return int64(len(key)+len(planKey))*8 + 1024
+}
+
+// Query serves one request end to end: admission, parameterization,
+// plan-cache lookup (optimizing on miss), parameter binding, budgeted
+// execution. Errors are always *ServeError.
+func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
+	resp, err := s.query(ctx, req)
+	if err != nil {
+		se := &ServeError{}
+		if !errors.As(err, &se) {
+			se = classify(err, false)
+		}
+		s.requests.With(se.Code).Inc()
+		return nil, se
+	}
+	s.requests.With("ok").Inc()
+	return resp, nil
+}
+
+func (s *Service) query(ctx context.Context, req Request) (*Response, error) {
+	// Fault point first: an injected admission fault must reject
+	// before any queue accounting, so it can never leak a slot. Safely
+	// contains an injected panic into a typed error, keeping the
+	// client-facing contract (classified error, never a crash).
+	if err := guard.Safely("serve.admit", "", s.ob.Registry, func() error {
+		return guard.Hit(guard.PointServeAdmit)
+	}); err != nil {
+		return nil, classify(err, false)
+	}
+
+	// Deadline: the client's requested timeout, clamped to the server
+	// ceiling.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		if d := time.Duration(req.TimeoutMillis) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	// Admission: bound waiting+running; beyond the bound, shed
+	// immediately with the typed overload error — the queue can never
+	// grow without limit.
+	if n := s.inflight.Add(1); n > int64(s.cfg.MaxConcurrent+s.cfg.MaxQueue) {
+		s.inflight.Add(-1)
+		s.shed.Inc()
+		return nil, classify(ErrOverloaded, false)
+	}
+	defer s.inflight.Add(-1)
+	s.queueDepth.Set(s.inflight.Load())
+
+	queueStart := time.Now()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, classify(fmt.Errorf("%w: %v", guard.ErrCancelled, ctx.Err()), false)
+	}
+	defer func() { <-s.sem }()
+	queued := time.Since(queueStart)
+	s.queueDepth.Set(s.inflight.Load())
+
+	// Per-run budget and registry (merged into the aggregate at the
+	// end, preserving the observer's per-run isolation contract).
+	limits := s.cfg.DefaultLimits
+	if l, ok := s.cfg.Tenants[req.Tenant]; ok {
+		limits = l
+	}
+	reg := obs.NewRegistry()
+	b := guard.New(ctx, limits, reg)
+	b.AddQueueWait(queued)
+
+	start := time.Now()
+	resp, planKey, templateKey, runErr := s.serve(ctx, req, b, reg)
+	s.record(req, resp, planKey, templateKey, reg, b, start, runErr)
+	if runErr != nil {
+		return nil, runErr
+	}
+	resp.QueuedNs = queued.Nanoseconds()
+	return resp, nil
+}
+
+// serve runs the post-admission pipeline.
+func (s *Service) serve(ctx context.Context, req Request, b *guard.Budget, reg *obs.Registry) (*Response, string, string, error) {
+	// Parse and parameterize: literals out, slots in.
+	stmt, err := sql.Parse(req.SQL)
+	if err != nil {
+		return nil, "", "", classify(err, true)
+	}
+	tmpl, params := sql.Parameterize(stmt)
+	node, err := sql.Lower(tmpl, s.db)
+	if err != nil {
+		return nil, "", "", classify(err, true)
+	}
+	key := plan.Key(node)
+	hash := plan.Fingerprint(node)
+
+	// Resolve the optimized template: cache, or direct optimization
+	// when bypassed.
+	var cached *cachedPlan
+	status := "bypass"
+	var optimizeNs int64
+	if req.Cache == "bypass" {
+		optStart := time.Now()
+		cp, err := s.optimizeTemplate(node, b, reg)
+		optimizeNs = time.Since(optStart).Nanoseconds()
+		if err != nil {
+			return nil, "", key, classify(err, false)
+		}
+		cached = cp
+	} else {
+		optStart := time.Now()
+		entry, st, err := s.cache.Do(ctx, key, hash, func() (any, int64, error) {
+			cp, err := s.optimizeTemplate(node, b, reg)
+			if err != nil {
+				return nil, 0, err
+			}
+			return cp, planBytes(key, plan.Key(cp.plan)), nil
+		})
+		if err != nil {
+			return nil, "", key, classify(err, false)
+		}
+		status = st.String()
+		if st != plancache.Hit {
+			optimizeNs = time.Since(optStart).Nanoseconds()
+		}
+		var ok bool
+		cached, ok = entry.Value.(*cachedPlan)
+		if !ok {
+			return nil, "", key, classify(fmt.Errorf("reorder: foreign cache entry for %q", key), false)
+		}
+	}
+	if cached.nparams != len(params) {
+		return nil, "", key, classify(fmt.Errorf("reorder: template %q expects %d params, got %d", key, cached.nparams, len(params)), false)
+	}
+
+	// Bind this request's constants into the shared template.
+	bindStart := time.Now()
+	bound, err := plan.BindParams(cached.plan, params)
+	if err != nil {
+		return nil, "", key, classify(err, false)
+	}
+	bindNs := time.Since(bindStart).Nanoseconds()
+	planKey := plan.Key(bound)
+
+	// Execute under the request budget.
+	execStart := time.Now()
+	rel, err := executor.RunGuarded(bound, s.db, b)
+	execNs := time.Since(execStart).Nanoseconds()
+	if err != nil {
+		return nil, planKey, key, classify(err, false)
+	}
+
+	resp := &Response{
+		CacheStatus: status,
+		PlanKey:     planKey,
+		Params:      len(params),
+		Degraded:    cached.degraded,
+		OptimizeNs:  optimizeNs,
+		BindNs:      bindNs,
+		ExecNs:      execNs,
+	}
+	attrs := rel.Schema().Attrs()
+	resp.Columns = make([]string, len(attrs))
+	for i, a := range attrs {
+		resp.Columns[i] = a.String()
+	}
+	resp.Rows = make([][]any, rel.Len())
+	for i, t := range rel.Tuples() {
+		row := make([]any, len(t))
+		for j, v := range t {
+			row[j] = jsonValue(v)
+		}
+		resp.Rows[i] = row
+	}
+	return resp, planKey, key, nil
+}
+
+// optimizeTemplate runs the full optimizer on the parameterized
+// template under the request's budget.
+func (s *Service) optimizeTemplate(node plan.Node, b *guard.Budget, reg *obs.Registry) (*cachedPlan, error) {
+	o := optimizer.New(s.est)
+	o.Opts.Workers = s.cfg.Workers
+	if s.cfg.MaxPlans > 0 {
+		o.Opts.MaxPlans = s.cfg.MaxPlans
+	}
+	o.Opts.Budget = b
+	o.Opts.Obs = reg
+	res, err := o.Optimize(node, s.db)
+	if err != nil {
+		return nil, err
+	}
+	return &cachedPlan{plan: res.Best.Plan, nparams: plan.ParamCount(node), degraded: res.Degraded}, nil
+}
+
+// record deposits the request into the flight recorder and folds the
+// run's private registry into the aggregate.
+func (s *Service) record(req Request, resp *Response, planKey, templateKey string, reg *obs.Registry, b *guard.Budget, start time.Time, runErr error) {
+	rec := flight.Record{
+		Start:       start,
+		Query:       req.SQL,
+		DurNs:       time.Since(start).Nanoseconds(),
+		PlanKey:     planKey,
+		BudgetTrips: b.Trips(),
+		Counters:    flightCounters(reg),
+	}
+	if templateKey != "" {
+		rec.Hash = fnv64(templateKey)
+	}
+	if q := b.QueueWait(); q > 0 {
+		rec.Phases = append(rec.Phases, flight.Phase{Name: "queued", Ns: q.Nanoseconds()})
+	}
+	if resp != nil {
+		rec.RowsOut = len(resp.Rows)
+		rec.Degraded = resp.Degraded
+		if resp.OptimizeNs > 0 {
+			rec.Phases = append(rec.Phases, flight.Phase{Name: "optimize", Ns: resp.OptimizeNs})
+		}
+		rec.Phases = append(rec.Phases,
+			flight.Phase{Name: "bind", Ns: resp.BindNs},
+			flight.Phase{Name: "execute", Ns: resp.ExecNs})
+	}
+	if runErr != nil {
+		rec.Error = runErr.Error()
+	}
+	s.ob.Registry.Merge(reg)
+	s.ob.Flight.Add(rec)
+}
+
+// fnv64 is FNV-1a over the template key — the flight record's query
+// hash, grouping records of the same template.
+func fnv64(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// jsonValue converts a value to its natural JSON representation.
+func jsonValue(v value.Value) any {
+	switch v.Kind() {
+	case value.KindInt:
+		return v.Int()
+	case value.KindFloat:
+		return v.Float()
+	case value.KindString:
+		return v.Str()
+	case value.KindBool:
+		return v.Bool()
+	default:
+		return nil
+	}
+}

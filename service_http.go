@@ -1,0 +1,71 @@
+package reorder
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler serves the query API over HTTP:
+//
+//	POST /query         {"sql": "...", ...}  → Response JSON
+//	GET  /metrics       Prometheus text exposition
+//	GET  /debug/queries flight-recorder dump
+//	GET  /debug/cache   plan-cache stats
+//
+// Errors return {"error":{"code":...,"message":...}} with the status
+// from the serving taxonomy (400 bad_query, 429 overloaded, 504
+// deadline, 422 budget, 500 typed internal).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.ob.Handler())
+	mux.Handle("/debug/queries", s.ob.Handler())
+	mux.HandleFunc("/debug/cache", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.cache.Stats())
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST required")
+			return
+		}
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeAPIError(w, http.StatusBadRequest, "bad_request", "invalid JSON: "+err.Error())
+			return
+		}
+		if req.SQL == "" {
+			writeAPIError(w, http.StatusBadRequest, "bad_request", "missing \"sql\"")
+			return
+		}
+		resp, err := s.Query(r.Context(), req)
+		if err != nil {
+			se := &ServeError{}
+			if errors.As(err, &se) {
+				writeAPIError(w, se.HTTPStatus, se.Code, se.Err.Error())
+				return
+			}
+			writeAPIError(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error apiErrorBody `json:"error"`
+}
+
+type apiErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeAPIError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: apiErrorBody{Code: code, Message: msg}})
+}

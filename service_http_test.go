@@ -1,0 +1,149 @@
+package reorder
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/plancache"
+)
+
+func TestHandlerQuery(t *testing.T) {
+	svc := newTestService(t, ServiceConfig{})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Happy path: rows come back with serving metadata.
+	resp, err := http.Post(srv.URL+"/query", "application/json",
+		strings.NewReader(`{"sql": "select b from t where a = 1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var r Response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheStatus != "miss" || len(r.Rows) != 6 || r.Params != 1 {
+		t.Fatalf("response = %+v", r)
+	}
+
+	// Second identical shape over HTTP is a cache hit.
+	resp2, err := http.Post(srv.URL+"/query", "application/json",
+		strings.NewReader(`{"sql": "select b from t where a = 3"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var r2 Response
+	if err := json.NewDecoder(resp2.Body).Decode(&r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheStatus != "hit" {
+		t.Fatalf("second request: cache=%s, want hit", r2.CacheStatus)
+	}
+}
+
+func TestHandlerErrorEnvelope(t *testing.T) {
+	svc := newTestService(t, ServiceConfig{})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	cases := []struct {
+		name   string
+		method string
+		body   string
+		status int
+		code   string
+	}{
+		{"parse error", "POST", `{"sql": "selec b from t"}`, 400, "bad_query"},
+		{"bad json", "POST", `{"sql": `, 400, "bad_request"},
+		{"missing sql", "POST", `{}`, 400, "bad_request"},
+		{"wrong method", "GET", ``, 405, "method_not_allowed"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, srv.URL+"/query", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var envelope struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+			t.Fatalf("%s: decoding envelope: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status || envelope.Error.Code != tc.code {
+			t.Fatalf("%s: got %d/%s, want %d/%s",
+				tc.name, resp.StatusCode, envelope.Error.Code, tc.status, tc.code)
+		}
+		if envelope.Error.Message == "" {
+			t.Fatalf("%s: empty error message", tc.name)
+		}
+	}
+}
+
+// TestHandlerObservability: /metrics exposes the plancache and serve
+// series and /debug/cache reports the live stats.
+func TestHandlerObservability(t *testing.T) {
+	svc := newTestService(t, ServiceConfig{})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(srv.URL+"/query", "application/json",
+			strings.NewReader(`{"sql": "select b from t where a = 2"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	fams, err := obs.ParseExposition(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"plancache_hits_total", "plancache_misses_total"} {
+		fam, ok := fams[name]
+		if !ok {
+			t.Fatalf("/metrics lacks %s; have %d families", name, len(fams))
+		}
+		if len(fam.Samples) == 0 || fam.Samples[0].Value == 0 {
+			t.Fatalf("%s not incremented", name)
+		}
+	}
+	if _, ok := fams["serve_requests_total"]; !ok {
+		t.Fatal("/metrics lacks serve_requests_total")
+	}
+
+	cresp, err := http.Get(srv.URL + "/debug/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cresp.Body.Close()
+	var st plancache.Stats
+	if err := json.NewDecoder(cresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 1 || st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("/debug/cache = %+v", st)
+	}
+}
