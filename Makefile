@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: all build vet test race race-par race-exec race-vec spill-smoke faults smoke obs serve-smoke bench bench-all check clean
+.PHONY: all build vet test race race-par race-exec race-vec race-order spill-smoke faults smoke obs serve-smoke bench bench-all check clean
 
 all: vet build test
 
 # The full pre-merge gauntlet: static checks, build, the tier-1 test
 # suite, the fault-injection suite under the race detector, the
 # observability smoke, the low-budget spill smoke, the query-service
-# smoke, and the benchmark regression gates.
-check: vet build test faults obs spill-smoke serve-smoke bench
+# smoke, the order-property suite, and the benchmark regression gates.
+check: vet build test faults obs spill-smoke serve-smoke race-order bench
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,16 @@ race-exec:
 race-vec:
 	$(GO) test -race -run 'TestVectorized|TestExecutorSpill|TestBatch|TestVec' \
 		./internal/executor/ ./internal/batch/
+
+# Focused race run for the order-aware layer: the merge-join and
+# streaming-aggregation equivalence suites (vs their hash twins,
+# across Run/RunInstrumented/RunParallel at several worker counts),
+# the order-detection/propagation pins, the top-K sort, and the
+# optimizer's order property suite — including the order-free
+# memo-vs-saturation identical-best-cost pin at any worker count.
+race-order:
+	$(GO) test -race -run 'TestMergeJoin|TestStreamAgg|TestOrder|TestSortRowsTopK|TestDeliveredOrder|TestDetectOrder|TestRequalifyOrder' \
+		./internal/executor/ ./internal/plan/ ./internal/optimizer/
 
 # Low-MaxBytes spill smoke: the vectorized join must escape to the
 # disk-backed grace join and complete — with spill counters moving —

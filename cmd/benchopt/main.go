@@ -20,17 +20,22 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"strings"
 	"testing"
 
+	"repro/internal/algebra"
 	"repro/internal/benchgate"
 	"repro/internal/core"
+	"repro/internal/executor"
 	"repro/internal/experiments"
+	"repro/internal/expr"
 	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/relation"
+	"repro/internal/schema"
 	"repro/internal/stats"
 	"repro/internal/value"
 )
@@ -67,6 +72,17 @@ type report struct {
 	// merging it into the process aggregate and depositing a flight
 	// record — the full observability pipeline.
 	ObsOverheadQ5 float64 `json:"obsOverheadQ5"`
+	// SpeedupOrderMerge is the end-to-end execution time of the forced
+	// hash-join-plus-root-sort plan divided by the optimizer-picked
+	// merge plan on the sorted-input order workload — the tentpole's
+	// ≥2x gate. SpeedupOrderStreamAgg is the same ratio for streaming
+	// aggregation vs hash aggregation plus a root sort.
+	SpeedupOrderMerge     float64 `json:"speedupOrderMerge"`
+	SpeedupOrderStreamAgg float64 `json:"speedupOrderStreamAgg"`
+	// OrderEnforcedSorts counts enforcer Sort nodes across both
+	// order-workload winners; the redundant-sort-elimination assertion
+	// requires it to be zero.
+	OrderEnforcedSorts int `json:"orderEnforcedSorts"`
 	// CounterDeltas maps workload name → the default-registry counter
 	// movement (obs.Snapshot.Diff) across that workload's measurement.
 	CounterDeltas map[string]map[string]int64 `json:"counterDeltas,omitempty"`
@@ -82,6 +98,136 @@ var seeds = []benchgate.SeedBaseline{
 		Note: "serial saturation of the 7-relation chain, hits the 10000-plan cap"},
 	{Name: "CostClosure", MsPerOp: 11.79, BytesPerOp: 1600000, AllocsPerOp: 96672,
 		Note: "PlanCost+Rows over all 2752 Q5 closure members, no memo"},
+	// The order-workload seeds are the forced pre-order-aware plans —
+	// hash join / hash aggregation with a root sort bolted on — which
+	// is the best spelling the optimizer could produce before physical
+	// sort properties existed. The gates require the order-aware
+	// winners to beat them (merge by ≥2x, the tentpole floor).
+	{Name: "OrderExecJoin", MsPerOp: 129.67, BytesPerOp: 86241240, AllocsPerOp: 240826,
+		Note: "hash join s1⋈s2 (60k×120k sorted string keys, fan-out 2) + root sort of 120k rows"},
+	{Name: "OrderExecAgg", MsPerOp: 120.10, BytesPerOp: 64790019, AllocsPerOp: 480602,
+		Note: "hash GROUP BY k over s1 (60k sorted string keys) + root sort of 60k groups"},
+}
+
+// orderDB builds two physically sorted relations for the order
+// workloads: s1 with a strictly ascending zero-padded string key k
+// (string comparisons share a long prefix, so the forced root sort's
+// n log n comparator passes are expensive while the single merge pass
+// stays linear), s2 with every key duplicated (fan-out 2, doubling
+// the join output the root sort must swallow), both with a payload
+// column v. ANALYZE-time DetectOrder records both as sorted.
+func orderDB(rows int) plan.Database {
+	db := plan.Database{}
+	key := func(i int) value.Value { return value.NewString(fmt.Sprintf("key-%08d", i)) }
+	b1 := relation.NewBuilder("s1", "k", "v")
+	for i := 0; i < rows; i++ {
+		b1.Row(key(i), value.NewInt(int64((i*2654435761)%1000)))
+	}
+	db["s1"] = b1.Relation()
+	b2 := relation.NewBuilder("s2", "k", "v")
+	for i := 0; i < rows; i++ {
+		for d := 0; d < 2; d++ {
+			b2.Row(key(i), value.NewInt(int64((i*40503+d)%1000)))
+		}
+	}
+	db["s2"] = b2.Relation()
+	return db
+}
+
+// orderJoinQuery is SELECT * FROM s1 JOIN s2 ON s1.k = s2.k ORDER BY
+// s1.k — the redundant-sort shape: over sorted inputs a merge join on
+// k delivers the required order for free, while the pre-order-aware
+// optimizer could only bolt a full sort onto a hash join.
+func orderJoinQuery() plan.Node {
+	j := plan.NewJoin(plan.InnerJoin, expr.EqCols("s1", "k", "s2", "k"),
+		plan.NewScan("s1"), plan.NewScan("s2"))
+	return plan.NewSortOrigin([]plan.SortKey{{Attr: schema.Attr("s1", "k")}}, -1, j, plan.SortOriginQuery)
+}
+
+// orderAggQuery is SELECT k, COUNT(*), SUM(v) FROM s1 GROUP BY k
+// ORDER BY k — satisfied sort-free by a streaming aggregation over
+// the sorted scan.
+func orderAggQuery() plan.Node {
+	g := plan.NewGroupBy(
+		[]schema.Attribute{schema.Attr("s1", "k")},
+		[]algebra.Aggregate{
+			{Func: algebra.CountStar, Out: schema.Attr("q", "n")},
+			{Func: algebra.Sum, Arg: expr.Column("s1", "v"), Out: schema.Attr("q", "s"), NullIfEmpty: true},
+		},
+		plan.NewScan("s1"))
+	return plan.NewSortOrigin([]plan.SortKey{{Attr: schema.Attr("s1", "k")}}, -1, g, plan.SortOriginQuery)
+}
+
+// optimizeOrderWinner runs the memo engine on an order-shaped query
+// and asserts the tentpole's elimination contract: Result.Order set,
+// zero enforcer sorts anywhere in the winner, the wanted physical
+// operator present, EXPLAIN carrying the "eliminated" provenance, and
+// the memo.order.* counters agreeing. Exits non-zero on violation.
+func optimizeOrderWinner(q plan.Node, db plan.Database, est *stats.Estimator, wantOp string) (plan.Node, int) {
+	reg := obs.NewRegistry()
+	o := optimizer.New(est)
+	o.Opts.UseMemo = optimizer.MemoAuto
+	o.Opts.MaxPlans = 10000
+	o.Opts.Obs = reg
+	res, err := o.Optimize(q, db)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchopt: order workload:", err)
+		os.Exit(1)
+	}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchopt: order workload %s: "+format+"\n", append([]any{wantOp}, args...)...)
+		fmt.Fprintln(os.Stderr, plan.Indent(res.Best.Plan))
+		os.Exit(1)
+	}
+	if res.Order == nil {
+		fail("root ORDER BY was not pushed into the memo as a property")
+	}
+	sorts, wanted := 0, 0
+	plan.Walk(res.Best.Plan, func(n plan.Node) {
+		switch m := n.(type) {
+		case *plan.Sort:
+			sorts++
+			_ = m
+		case *plan.MergeJoin:
+			if wantOp == "mergejoin" {
+				wanted++
+			}
+		case *plan.StreamAgg:
+			if wantOp == "streamagg" {
+				wanted++
+			}
+		}
+	})
+	if !res.Order.Eliminated() || sorts != 0 {
+		fail("requirement not eliminated: enforced=%d, %d sort nodes", res.Order.Enforced, sorts)
+	}
+	if wanted == 0 {
+		fail("winner does not contain the order-consuming operator")
+	}
+	c := reg.Snapshot().Counters
+	if c["memo.order.eliminated"] != 1 || c["memo.order.enforced"] != 0 {
+		fail("memo.order counters: eliminated=%d enforced=%d, want 1/0",
+			c["memo.order.eliminated"], c["memo.order.enforced"])
+	}
+	if !strings.Contains(optimizer.Explain(res), "(eliminated)") {
+		fail("EXPLAIN does not carry the eliminated provenance:\n%s", optimizer.Explain(res))
+	}
+	if err := plan.Validate(res.Best.Plan, db); err != nil {
+		fail("winner fails validation: %v", err)
+	}
+	return res.Best.Plan, res.Order.Enforced
+}
+
+// execBench measures end-to-end execution of a fixed plan.
+func execBench(p plan.Node, db plan.Database) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := executor.Run(p, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 func benchDB() plan.Database {
@@ -255,6 +401,27 @@ func main() {
 	memoPruned := reg.Snapshot().Counters["memo.pruned"]
 	fmt.Printf("memo.pruned on Q5: %d extraction candidates cut by branch-and-bound\n", memoPruned)
 
+	// Order workloads: the optimizer must turn the redundant-sort
+	// queries into sort-free merge/streaming plans (hard assertions
+	// inside optimizeOrderWinner), and those plans must beat the
+	// forced hash-plus-root-sort spellings end-to-end.
+	odb := orderDB(60000)
+	oest := stats.NewEstimator(stats.FromDatabase(odb))
+	enforcedSorts := 0
+	var mergeExec, hashSortExec, streamExec, hashAggExec benchgate.Result
+	if !skip("OrderExecJoin") {
+		mergePlan, enf := optimizeOrderWinner(orderJoinQuery(), odb, oest, "mergejoin")
+		enforcedSorts += enf
+		mergeExec = measureBest("OrderExecJoin/merge", 3, execBench(mergePlan, odb))
+		hashSortExec = measureBest("OrderExecJoin/hash+sort", 3, execBench(orderJoinQuery(), odb))
+	}
+	if !skip("OrderExecAgg") {
+		streamPlan, enf := optimizeOrderWinner(orderAggQuery(), odb, oest, "streamagg")
+		enforcedSorts += enf
+		streamExec = measureBest("OrderExecAgg/stream", 3, execBench(streamPlan, odb))
+		hashAggExec = measureBest("OrderExecAgg/hash+sort", 3, execBench(orderAggQuery(), odb))
+	}
+
 	closure := core.Saturate(q5, core.SaturateOptions{MaxPlans: 10000})
 	costCold := benchgate.Result{}
 	costMemo := benchgate.Result{}
@@ -300,7 +467,11 @@ func main() {
 		GuardOverheadQ5:     ratio(memOptQ5G, memOptQ5),
 		GuardOverheadChain7: ratio(memOptChainG, memOptChain),
 		ObsOverheadQ5:       ratio(memOptQ5O, memOptQ5),
-		CounterDeltas:       deltas,
+
+		SpeedupOrderMerge:     ratio(hashSortExec, mergeExec),
+		SpeedupOrderStreamAgg: ratio(hashAggExec, streamExec),
+		OrderEnforcedSorts:    enforcedSorts,
+		CounterDeltas:         deltas,
 	}
 	if err := benchgate.WriteJSON(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchopt:", err)
@@ -313,6 +484,8 @@ func main() {
 	fmt.Printf("guard overhead (guarded/unguarded): Q5 %.4f, chain7 %.4f\n",
 		rep.GuardOverheadQ5, rep.GuardOverheadChain7)
 	fmt.Printf("obs overhead (observed/plain): Q5 %.4f\n", rep.ObsOverheadQ5)
+	fmt.Printf("order workloads: merge vs hash+sort %.2fx, stream agg vs hash+sort %.2fx, enforcer sorts %d\n",
+		rep.SpeedupOrderMerge, rep.SpeedupOrderStreamAgg, rep.OrderEnforcedSorts)
 	fmt.Println("wrote", *out)
 
 	// Regression gates: the parallel engine must not lose to the serial
@@ -330,6 +503,13 @@ func main() {
 		benchgate.Gate{Label: "guarded OptimizeQ5 vs unguarded", Candidate: memOptQ5G, Baseline: memOptQ5, Tolerance: *guardTolerance},
 		benchgate.Gate{Label: "guarded OptimizeChain7 vs unguarded", Candidate: memOptChainG, Baseline: memOptChain, Tolerance: *guardTolerance},
 		benchgate.Gate{Label: "observed OptimizeQ5 vs plain", Candidate: memOptQ5O, Baseline: memOptQ5, Tolerance: *obsTolerance},
+		// The tentpole gate: the optimizer-picked merge plan must run at
+		// least twice as fast end-to-end as the forced hash-join-plus-
+		// root-sort plan on sorted inputs (candidate/baseline <= 0.5).
+		benchgate.Gate{Label: "order-aware merge plan vs forced hash join + root sort (>=2x)", Candidate: mergeExec, Baseline: hashSortExec, Tolerance: 0.5},
+		// Streaming aggregation must at minimum not lose to hash
+		// aggregation plus a root sort over the same sorted input.
+		benchgate.Gate{Label: "order-aware stream agg vs hash agg + root sort", Candidate: streamExec, Baseline: hashAggExec, Tolerance: 1.0},
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchopt:", err)

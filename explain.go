@@ -33,19 +33,26 @@ type PhaseNs struct {
 // optimizer's enumeration counters and phase timings, and the
 // aggregate metrics registry of the run.
 type AnalyzeReport struct {
-	Query        string             `json:"query"`    // the query as written (canonical plan string)
-	BestPlan     string             `json:"bestPlan"` // the chosen plan (canonical plan string)
-	Considered   int                `json:"considered"`
-	OriginalCost float64            `json:"originalCost"`
-	BestCost     float64            `json:"bestCost"`
-	RowsOut      int                `json:"rowsOut"`
-	Engine       string             `json:"engine,omitempty"`   // execution engine: "tuple" (default) or "vector"
-	Degraded     string             `json:"degraded,omitempty"` // non-empty when a budget trip truncated enumeration
-	Phases       []PhaseNs          `json:"phases,omitempty"`
-	RuleFirings  map[string]int     `json:"ruleFirings,omitempty"`
-	Metrics      obs.Snapshot       `json:"metrics"`
-	Spans        []obs.SpanSnapshot `json:"spans,omitempty"`
-	PlanTree     json.RawMessage    `json:"planTree"` // annotated plan (plan.EncodeJSONAnnotated)
+	Query        string  `json:"query"`    // the query as written (canonical plan string)
+	BestPlan     string  `json:"bestPlan"` // the chosen plan (canonical plan string)
+	Considered   int     `json:"considered"`
+	OriginalCost float64 `json:"originalCost"`
+	BestCost     float64 `json:"bestCost"`
+	RowsOut      int     `json:"rowsOut"`
+	Engine       string  `json:"engine,omitempty"`   // execution engine: "tuple" (default) or "vector"
+	Degraded     string  `json:"degraded,omitempty"` // non-empty when a budget trip truncated enumeration
+	// Order provenance (memo path, root ORDER BY only): the required
+	// order, the best plan's delivered order, and how many enforcer
+	// sorts satisfy the gap (0 = the requirement was eliminated).
+	RequiredOrder   string             `json:"requiredOrder,omitempty"`
+	DeliveredOrder  string             `json:"deliveredOrder,omitempty"`
+	OrderEnforced   int                `json:"orderEnforced,omitempty"`
+	OrderEliminated bool               `json:"orderEliminated,omitempty"`
+	Phases          []PhaseNs          `json:"phases,omitempty"`
+	RuleFirings     map[string]int     `json:"ruleFirings,omitempty"`
+	Metrics         obs.Snapshot       `json:"metrics"`
+	Spans           []obs.SpanSnapshot `json:"spans,omitempty"`
+	PlanTree        json.RawMessage    `json:"planTree"` // annotated plan (plan.EncodeJSONAnnotated)
 
 	node plan.Node
 	ann  plan.Annotations
@@ -183,6 +190,12 @@ func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.
 		node:         res.Best.Plan,
 		ann:          ann,
 	}
+	if res.Order != nil {
+		r.RequiredOrder = res.Order.Required.String()
+		r.DeliveredOrder = res.Order.Delivered.String()
+		r.OrderEnforced = res.Order.Enforced
+		r.OrderEliminated = res.Order.Eliminated()
+	}
 	// Queue wait, when a serving layer admitted this run, leads the
 	// phase list: it is wall time the client experienced before any
 	// optimizer work, and surfacing it is what makes shed decisions
@@ -241,6 +254,13 @@ func (r *AnalyzeReport) String() string {
 	}
 	if r.Degraded != "" {
 		fmt.Fprintf(&b, "degraded:         %s (best-effort plan, not the full-class optimum)\n", r.Degraded)
+	}
+	if r.RequiredOrder != "" {
+		prov := fmt.Sprintf("enforced %d", r.OrderEnforced)
+		if r.OrderEliminated {
+			prov = "eliminated"
+		}
+		fmt.Fprintf(&b, "order:            required %s delivered %s (%s)\n", r.RequiredOrder, r.DeliveredOrder, prov)
 	}
 	if len(r.Phases) > 0 {
 		parts := make([]string, len(r.Phases))

@@ -61,9 +61,9 @@ func run(n plan.Node, db plan.Database, b *guard.Budget) (*relation.Relation, er
 		return nil, err
 	}
 	switch n.(type) {
-	case *plan.Scan, *materialized, *plan.Join, *plan.MGOJNode:
-		// Base inputs are not intermediate state; joins have already
-		// charged per batch.
+	case *plan.Scan, *materialized, *plan.Join, *plan.MGOJNode, *plan.MergeJoin, *plan.StreamAgg:
+		// Base inputs are not intermediate state; joins and the
+		// order-consuming operators have already charged per batch.
 	default:
 		if err := b.ChargeOut(out.Len(), out.Schema().Len()); err != nil {
 			return nil, err
@@ -132,6 +132,22 @@ func runNode(n plan.Node, db plan.Database, b *guard.Budget) (*relation.Relation
 			return nil, err
 		}
 		return mgojExecProbe(m, l, r, nil, b)
+	case *plan.MergeJoin:
+		l, err := run(m.L, db, b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := run(m.R, db, b)
+		if err != nil {
+			return nil, err
+		}
+		return mergeJoinProbe(m, l, r, nil, b)
+	case *plan.StreamAgg:
+		in, err := run(m.Input, db, b)
+		if err != nil {
+			return nil, err
+		}
+		return streamAggProbe(m, in, b)
 	default:
 		return nil, fmt.Errorf("executor: unsupported node %T", n)
 	}

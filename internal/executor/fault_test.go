@@ -13,9 +13,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/algebra"
 	"repro/internal/guard"
 	"repro/internal/plan"
 	"repro/internal/relation"
+	"repro/internal/schema"
 )
 
 // faultDB builds two relations big enough that the grace-partitioned
@@ -34,26 +36,61 @@ func faultJoin() plan.Node {
 type execEntry struct {
 	name string
 	run  func(db plan.Database, b *guard.Budget) (*relation.Relation, error)
+	// ref is the plan whose unguarded Run output the entry's guarded
+	// output must reproduce (the untripped-budget determinism gate).
+	ref plan.Node
 }
 
 func execEntries() []execEntry {
 	return []execEntry{
 		{"serial", func(db plan.Database, b *guard.Budget) (*relation.Relation, error) {
 			return RunGuarded(faultJoin(), db, b)
-		}},
+		}, faultJoin()},
 		{"parallel", func(db plan.Database, b *guard.Budget) (*relation.Relation, error) {
 			return RunParallelGuarded(faultJoin(), db, 3, b)
-		}},
+		}, faultJoin()},
 		{"joinpar", func(db plan.Database, b *guard.Budget) (*relation.Relation, error) {
 			return JoinExecParallelGuarded(plan.InnerJoin, eqX("r1", "r2"), db["r1"], db["r2"], 3, b)
-		}},
+		}, faultJoin()},
 		// The spilling grace join always writes and reads partition
 		// files (even unbudgeted), so the matrix arms the spill
 		// write/read fault points through this entry.
 		{"spill", func(db plan.Database, b *guard.Budget) (*relation.Relation, error) {
 			return JoinExecSpill(plan.InnerJoin, eqX("r1", "r2"), db["r1"], db["r2"], b, SpillOptions{})
-		}},
+		}, faultJoin()},
+		// The order-consuming operators: enforcer sorts establish the
+		// input orders, so these entries cross the executor.mergejoin
+		// and executor.streamagg points at their batch boundaries.
+		{"merge", func(db plan.Database, b *guard.Budget) (*relation.Relation, error) {
+			return RunGuarded(faultMergeJoin(), db, b)
+		}, faultMergeJoin()},
+		{"streamagg", func(db plan.Database, b *guard.Budget) (*relation.Relation, error) {
+			return RunGuarded(faultStreamAgg(), db, b)
+		}, faultStreamAgg()},
 	}
+}
+
+// faultMergeJoin is faultJoin's merge spelling: sort both inputs on x
+// and merge them, so the run crosses PointExecMergeJoin.
+func faultMergeJoin() plan.Node {
+	sortX := func(rel string) plan.Node {
+		return plan.NewSortOrigin([]plan.SortKey{{Attr: schema.Attr(rel, "x")}}, -1,
+			plan.NewScan(rel), plan.SortOriginEnforcer)
+	}
+	return plan.NewMergeJoin(plan.InnerJoin, eqX("r1", "r2"),
+		[]schema.Attribute{schema.Attr("r1", "x")},
+		[]schema.Attribute{schema.Attr("r2", "x")},
+		[]bool{false}, sortX("r1"), sortX("r2"))
+}
+
+// faultStreamAgg aggregates the merge join's output streamed in key
+// order, crossing PointExecStreamAgg.
+func faultStreamAgg() plan.Node {
+	return plan.NewStreamAgg(
+		[]schema.Attribute{schema.Attr("r1", "x")},
+		[]algebra.Aggregate{{Func: algebra.CountStar, Out: schema.Attr("q", "n")}},
+		plan.OrderBy(schema.Attr("r1", "x")),
+		faultMergeJoin())
 }
 
 // execFired records which guard points one clean run of the entry
@@ -196,13 +233,13 @@ func TestExecutorPanicLeavesNoWorkers(t *testing.T) {
 // must not change any entry point's output.
 func TestExecutorUntrippedBudgetDeterministic(t *testing.T) {
 	db := faultDB(35)
-	want, err := Run(faultJoin(), db)
-	if err != nil {
-		t.Fatal(err)
-	}
 	huge := guard.Limits{MaxRows: 1 << 40, MaxBytes: 1 << 50}
 	for _, e := range execEntries() {
 		t.Run(e.name, func(t *testing.T) {
+			want, err := Run(e.ref, db)
+			if err != nil {
+				t.Fatal(err)
+			}
 			got, err := e.run(db, guard.New(context.Background(), huge, nil))
 			if err != nil {
 				t.Fatal(err)

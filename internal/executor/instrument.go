@@ -107,6 +107,22 @@ func runInstrumented(n plan.Node, db plan.Database, reg *obs.Registry, ann plan.
 		st := &joinProbe{}
 		out, err = mgojExecProbe(m, l, r, st, b)
 		recordJoinProbe(a, st, reg)
+	case *plan.MergeJoin:
+		var l, r *relation.Relation
+		if l, err = runInstrumented(m.L, db, reg, ann, b); err != nil {
+			break
+		}
+		if r, err = runInstrumented(m.R, db, reg, ann, b); err != nil {
+			break
+		}
+		st := &joinProbe{}
+		out, err = mergeJoinProbe(m, l, r, st, b)
+		recordJoinProbe(a, st, reg)
+	case *plan.StreamAgg:
+		var in *relation.Relation
+		if in, err = runInstrumented(m.Input, db, reg, ann, b); err == nil {
+			out, err = streamAggProbe(m, in, b)
+		}
 	default:
 		err = fmt.Errorf("executor: unsupported node %T", n)
 	}
@@ -117,9 +133,9 @@ func runInstrumented(n plan.Node, db plan.Database, reg *obs.Registry, ann plan.
 		return nil, err
 	}
 	switch n.(type) {
-	case *plan.Scan, *materialized, *plan.Join, *plan.MGOJNode:
-		// Same charging rule as run: base inputs are free, joins have
-		// charged per batch inside the probe.
+	case *plan.Scan, *materialized, *plan.Join, *plan.MGOJNode, *plan.MergeJoin, *plan.StreamAgg:
+		// Same charging rule as run: base inputs are free, joins and
+		// the order-consuming operators have charged per batch.
 	default:
 		if err := b.ChargeOut(out.Len(), out.Schema().Len()); err != nil {
 			return nil, err
@@ -190,6 +206,10 @@ func OpName(n plan.Node) string {
 		return "join." + m.Kind.String()
 	case *plan.MGOJNode:
 		return "mgoj"
+	case *plan.MergeJoin:
+		return "mergejoin." + m.Kind.String()
+	case *plan.StreamAgg:
+		return "streamagg"
 	default:
 		return fmt.Sprintf("%T", n)
 	}

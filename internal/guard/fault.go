@@ -43,6 +43,12 @@ const (
 	// PointExecPartition fires as each partition of the grace-
 	// partitioned parallel join is claimed by a worker.
 	PointExecPartition Point = "exec.join.partition"
+	// PointExecMergeJoin fires at the sort-merge join's per-batch
+	// output boundaries.
+	PointExecMergeJoin Point = "executor.mergejoin"
+	// PointExecStreamAgg fires at the streaming aggregation's
+	// per-batch input boundaries.
+	PointExecStreamAgg Point = "executor.streamagg"
 	// PointDatagenBatch fires at datagen's per-batch boundaries.
 	PointDatagenBatch Point = "datagen.batch"
 	// PointSpillWrite fires as each spill partition file is flushed
@@ -78,6 +84,8 @@ func Points() []Point {
 		PointExecOperator,
 		PointExecBatch,
 		PointExecPartition,
+		PointExecMergeJoin,
+		PointExecStreamAgg,
 		PointDatagenBatch,
 		PointSpillWrite,
 		PointSpillRead,

@@ -1,0 +1,486 @@
+package memo
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	xpr "repro/internal/expr"
+	"repro/internal/guard"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// OrderCoster extends Coster with catalog knowledge of base-scan sort
+// orders (satisfied by stats.Session). A plain Coster still works with
+// ExtractOrdered — scans are then assumed unsorted and every required
+// order is met by an enforcer Sort.
+type OrderCoster interface {
+	Coster
+	ScanOrder(*plan.Scan) plan.Order
+}
+
+// ExtractOrdered is Extract under a physical property requirement: the
+// returned plan's delivered sort order must satisfy required. The memo
+// stays purely logical — groups and expressions are untouched — and
+// the requirement lives in per-extraction (group, order) *optimization
+// contexts*, each answering "cheapest materialization of this group
+// whose output is sorted by this order".
+//
+// Per context, three kinds of candidates compete:
+//
+//   - implementations that propagate the requirement: Select and
+//     non-distinct Project pass it to their input; an equi Join can
+//     become a MergeJoin whose inputs are required in key order; a
+//     GroupBy can become a StreamAgg whose input is required in group
+//     key order;
+//   - the group's order-free winner, when its delivered order happens
+//     to satisfy the requirement anyway (a sorted base scan under a
+//     chain of order-preserving operators) — the redundant-sort
+//     *elimination* case;
+//   - an enforcer: an explicit Sort (Origin "enforcer") over the
+//     group's order-free winner, which makes every context feasible
+//     and lets the cost model charge the n log n exactly where the
+//     sort would run.
+//
+// The empty requirement delegates to Extract's machinery verbatim, so
+// order-free extraction — and the memo-vs-saturation equivalence the
+// property suites pin — is bit-for-bit unchanged. Branch-and-bound
+// carries over: child-context winners lower-bound each candidate, and
+// costing bails through PlanCostBound once past the incumbent
+// (memo.pruned counts both). memo.order.contexts counts the ordered
+// contexts opened.
+func (m *Memo) ExtractOrdered(roots []GroupID, c Coster, required plan.Order) (best Best, err error) {
+	if len(required) == 0 {
+		return m.Extract(roots, c)
+	}
+	obs.WithPhase(m.opts.Budget.Context(), "memo", "cost", func() {
+		best, err = m.extractOrdered(roots, c, required)
+	})
+	return best, err
+}
+
+func (m *Memo) extractOrdered(roots []GroupID, c Coster, required plan.Order) (Best, error) {
+	start := time.Now()
+	defer func() {
+		if reg := m.obs(); reg != nil {
+			reg.Counter("memo.extract_ns").Add(time.Since(start).Nanoseconds())
+		}
+	}()
+	x := &ordExtractor{
+		m:          m,
+		c:          c,
+		wins:       make(map[ordCtxKey]*ordWin),
+		onPath:     make(map[ordCtxKey]bool),
+		legacyPath: make([]bool, len(m.groups)),
+	}
+	if oc, ok := c.(OrderCoster); ok {
+		x.src = oc.ScanOrder
+	}
+	best := Best{Cost: math.Inf(1), Root: -1}
+	for i, gid := range roots {
+		w, err := x.context(m.groups[gid], required)
+		if err != nil {
+			return Best{}, err
+		}
+		if w != nil && w.cost < best.Cost {
+			best = Best{Plan: w.plan, Cost: w.cost, Group: gid, Root: i}
+		}
+	}
+	if best.Plan == nil {
+		return Best{}, fmt.Errorf("memo: no extractable plan delivering %s among %d root groups", required, len(roots))
+	}
+	return best, nil
+}
+
+// ordCtxKey identifies one (group, required order) optimization
+// context within an extraction run.
+type ordCtxKey struct {
+	gid GroupID
+	ord string
+}
+
+// ordWin is a context's winner.
+type ordWin struct {
+	plan plan.Node
+	cost float64
+}
+
+// ordExtractor holds the per-run context table. Contexts are created
+// per ExtractOrdered call — unlike group winners they are not cached
+// on the memo, because the same memo may be extracted under different
+// requirements.
+type ordExtractor struct {
+	m   *Memo
+	c   Coster
+	src plan.OrderSource
+	// wins caches completed contexts (nil value: context infeasible).
+	wins map[ordCtxKey]*ordWin
+	// onPath guards against cyclic spellings, per context — the
+	// ordered analog of extractGroup's onPath slice.
+	onPath map[ordCtxKey]bool
+	// legacyPath is the onPath slice handed to extractGroup for
+	// empty-requirement delegation; it is all-false between calls
+	// (legacy extraction completes synchronously and never re-enters
+	// the ordered extractor).
+	legacyPath []bool
+}
+
+// base extracts g's order-free winner through the legacy machinery.
+func (x *ordExtractor) base(g *group) (*ordWin, error) {
+	if err := x.m.extractGroup(g, x.c, x.legacyPath); err != nil {
+		return nil, err
+	}
+	if g.winner == nil {
+		return nil, nil
+	}
+	return &ordWin{plan: g.winner, cost: g.winnerCost}, nil
+}
+
+// context computes the cheapest materialization of g whose delivered
+// order satisfies req (non-empty). A nil win with nil error means the
+// context is infeasible or on the current recursion path.
+func (x *ordExtractor) context(g *group, req plan.Order) (*ordWin, error) {
+	key := ordCtxKey{gid: g.id, ord: req.Key()}
+	if w, ok := x.wins[key]; ok {
+		return w, nil
+	}
+	if x.onPath[key] {
+		return nil, nil
+	}
+	// Context entry mirrors extractGroup's deterministic guard point:
+	// contexts open in the same order for any configuration.
+	if err := x.m.opts.Budget.Cancelled(); err != nil {
+		return nil, err
+	}
+	if err := guard.Hit(guard.PointMemoExtract); err != nil {
+		return nil, err
+	}
+	x.onPath[key] = true
+	defer delete(x.onPath, key)
+	reg := x.m.obs()
+	if reg != nil {
+		reg.Counter("memo.order.contexts").Inc()
+	}
+
+	incumbent := math.Inf(1)
+	var winner plan.Node
+	// try costs one candidate implementation: extract each child under
+	// its required order, lower-bound by the child winners, build, check
+	// the delivered order, and cost under the incumbent bound.
+	try := func(cgids []GroupID, childReqs []plan.Order, build func([]plan.Node) plan.Node) error {
+		lb := 0.0
+		trees := make([]plan.Node, len(cgids))
+		for i, cgid := range cgids {
+			sub := x.m.groups[cgid]
+			var cw *ordWin
+			var err error
+			if len(childReqs[i]) == 0 {
+				cw, err = x.base(sub)
+			} else {
+				cw, err = x.context(sub, childReqs[i])
+			}
+			if err != nil {
+				return err
+			}
+			if cw == nil {
+				return nil // infeasible or cyclic on this path
+			}
+			trees[i] = cw.plan
+			lb += cw.cost
+		}
+		if lb >= incumbent {
+			if reg != nil {
+				reg.Counter("memo.pruned").Inc()
+			}
+			return nil
+		}
+		var cand plan.Node
+		if len(trees) > 0 {
+			cand = build(trees)
+		} else {
+			cand = build(nil)
+		}
+		if !plan.DeliveredOrder(cand, x.src).Satisfies(req) {
+			return nil
+		}
+		cost, within, err := x.c.PlanCostBound(cand, incumbent)
+		if err != nil {
+			return err
+		}
+		if !within {
+			if reg != nil {
+				reg.Counter("memo.pruned").Inc()
+			}
+			return nil
+		}
+		incumbent, winner = cost, cand
+		return nil
+	}
+
+	for _, eid := range g.exprs {
+		e := x.m.exprs[eid]
+		for _, im := range implementations(e, req) {
+			if err := try(e.children, im.childReqs, im.build); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Enforcer: an explicit Sort over the group's order-free winner.
+	// Always a candidate, so a feasible group makes every context over
+	// it feasible; the cost model charges the n log n through the Sort
+	// node itself.
+	bw, err := x.base(g)
+	if err != nil {
+		return nil, err
+	}
+	if bw != nil {
+		if bw.cost >= incumbent {
+			if reg != nil {
+				reg.Counter("memo.pruned").Inc()
+			}
+		} else {
+			cand := plan.NewSortOrigin(append([]plan.SortKey(nil), req...), -1, bw.plan, plan.SortOriginEnforcer)
+			cost, within, cerr := x.c.PlanCostBound(cand, incumbent)
+			if cerr != nil {
+				return nil, cerr
+			}
+			if within {
+				incumbent, winner = cost, cand
+			} else if reg != nil {
+				reg.Counter("memo.pruned").Inc()
+			}
+		}
+	}
+
+	var w *ordWin
+	if winner != nil {
+		w = &ordWin{plan: winner, cost: incumbent}
+	}
+	x.wins[key] = w
+	return w, nil
+}
+
+// ordImpl is one way to implement an expression under a required
+// order: per-child requirements plus a builder over the child winners.
+type ordImpl struct {
+	childReqs []plan.Order
+	build     func([]plan.Node) plan.Node
+}
+
+// implementations enumerates the candidate implementations of e in a
+// context requiring req. The order-free default — legacy child winners
+// under the expression's own operator — is always first: it wins
+// whenever the children happen to deliver the order already (the
+// elimination case, e.g. a sorted scan under order-preserving
+// operators). The delivered-order check in the caller rejects any
+// candidate that does not actually satisfy req, so enumeration here
+// may be generous.
+func implementations(e *expr, req plan.Order) []ordImpl {
+	empty := make([]plan.Order, len(e.children))
+	out := []ordImpl{{
+		childReqs: empty,
+		build: func(trees []plan.Node) plan.Node {
+			if len(trees) == 0 {
+				return e.node
+			}
+			return e.node.WithChildren(trees)
+		},
+	}}
+	switch n := e.node.(type) {
+	case *plan.Select:
+		// Filtering preserves order: require the order from the input.
+		out = append(out, ordImpl{
+			childReqs: []plan.Order{req},
+			build:     func(trees []plan.Node) plan.Node { return e.node.WithChildren(trees) },
+		})
+	case *plan.Project:
+		if !n.Distinct && orderWithin(req, n.Attrs) {
+			out = append(out, ordImpl{
+				childReqs: []plan.Order{req},
+				build:     func(trees []plan.Node) plan.Node { return e.node.WithChildren(trees) },
+			})
+		}
+	case *plan.Join:
+		// Only Inner and Left merge joins deliver their left-key
+		// order; the other kinds cannot satisfy a requirement here.
+		if n.Kind != plan.InnerJoin && n.Kind != plan.LeftJoin {
+			break
+		}
+		lk, rk := equiKeys(n)
+		if len(lk) == 0 {
+			break
+		}
+		for _, keys := range mergeKeyVariants(lk, rk, req) {
+			keys := keys
+			mj := func(trees []plan.Node) plan.Node {
+				return plan.NewMergeJoin(n.Kind, n.Pred, keys.lk, keys.rk, keys.desc, trees[0], trees[1])
+			}
+			out = append(out, ordImpl{
+				childReqs: []plan.Order{keys.leftOrder(), keys.rightOrder()},
+				build:     mj,
+			})
+		}
+	case *plan.GroupBy:
+		if len(n.Keys) == 0 {
+			break
+		}
+		for _, inOrder := range streamAggVariants(n.Keys, req) {
+			inOrder := inOrder
+			out = append(out, ordImpl{
+				childReqs: []plan.Order{inOrder},
+				build: func(trees []plan.Node) plan.Node {
+					return plan.NewStreamAgg(n.Keys, n.Aggs, inOrder, trees[0])
+				},
+			})
+		}
+	}
+	return out
+}
+
+// orderWithin reports whether every key attribute of o is among attrs.
+func orderWithin(o plan.Order, attrs []schema.Attribute) bool {
+	set := make(map[schema.Attribute]bool, len(attrs))
+	for _, a := range attrs {
+		set[a] = true
+	}
+	for _, k := range o {
+		if !set[k.Attr] {
+			return false
+		}
+	}
+	return true
+}
+
+// equiKeys extracts the column = column equi conjuncts of a join,
+// sided by the base relations under each input (expression children
+// are group representatives, so base relation sets are those of the
+// whole equivalence class).
+func equiKeys(j *plan.Join) (lk, rk []schema.Attribute) {
+	lrels := plan.BaseRelSet(j.L)
+	rrels := plan.BaseRelSet(j.R)
+	for _, c := range xpr.Conjuncts(j.Pred) {
+		cmp, ok := c.(xpr.Cmp)
+		if !ok || cmp.Op != value.EQ {
+			continue
+		}
+		lc, lok := cmp.L.(xpr.Col)
+		rc, rok := cmp.R.(xpr.Col)
+		if !lok || !rok {
+			continue
+		}
+		switch {
+		case lrels[lc.Attr.Rel] && rrels[rc.Attr.Rel]:
+			lk = append(lk, lc.Attr)
+			rk = append(rk, rc.Attr)
+		case rrels[lc.Attr.Rel] && lrels[rc.Attr.Rel]:
+			lk = append(lk, rc.Attr)
+			rk = append(rk, lc.Attr)
+		}
+	}
+	return lk, rk
+}
+
+// mergeKeys is one merge-join key ordering.
+type mergeKeys struct {
+	lk, rk []schema.Attribute
+	desc   []bool
+}
+
+func (k mergeKeys) leftOrder() plan.Order {
+	o := make(plan.Order, len(k.lk))
+	for i, a := range k.lk {
+		o[i] = plan.SortKey{Attr: a, Desc: k.desc[i]}
+	}
+	return o
+}
+
+func (k mergeKeys) rightOrder() plan.Order {
+	o := make(plan.Order, len(k.rk))
+	for i, a := range k.rk {
+		o[i] = plan.SortKey{Attr: a, Desc: k.desc[i]}
+	}
+	return o
+}
+
+// mergeKeyVariants enumerates merge key orderings worth trying: the
+// natural all-ascending order of the equi conjuncts, plus (when the
+// requirement's keys are a subset of the left join keys) a
+// requirement-aligned permutation whose left order satisfies req by
+// construction — the arrangement that makes a root ORDER BY free.
+func mergeKeyVariants(lk, rk []schema.Attribute, req plan.Order) []mergeKeys {
+	natural := mergeKeys{lk: lk, rk: rk, desc: make([]bool, len(lk))}
+	out := []mergeKeys{natural}
+	if len(req) > len(lk) {
+		return out
+	}
+	aligned := mergeKeys{}
+	used := make([]bool, len(lk))
+	for _, k := range req {
+		found := -1
+		for i, a := range lk {
+			if !used[i] && a == k.Attr {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return out
+		}
+		used[found] = true
+		aligned.lk = append(aligned.lk, lk[found])
+		aligned.rk = append(aligned.rk, rk[found])
+		aligned.desc = append(aligned.desc, k.Desc)
+	}
+	for i := range lk {
+		if !used[i] {
+			aligned.lk = append(aligned.lk, lk[i])
+			aligned.rk = append(aligned.rk, rk[i])
+			aligned.desc = append(aligned.desc, false)
+		}
+	}
+	if aligned.leftOrder().Key() != natural.leftOrder().Key() {
+		out = append(out, aligned)
+	}
+	return out
+}
+
+// streamAggVariants enumerates input orders for a streaming aggregation
+// over keys: the keys in declaration order ascending, plus (when the
+// requirement's attributes all are group keys) a requirement-aligned
+// order that makes the aggregation's output satisfy req directly.
+func streamAggVariants(keys []schema.Attribute, req plan.Order) []plan.Order {
+	natural := plan.OrderBy(keys...)
+	out := []plan.Order{natural}
+	if len(req) > len(keys) {
+		return out
+	}
+	aligned := make(plan.Order, 0, len(keys))
+	used := make([]bool, len(keys))
+	for _, k := range req {
+		found := -1
+		for i, a := range keys {
+			if !used[i] && a == k.Attr {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return out
+		}
+		used[found] = true
+		aligned = append(aligned, k)
+	}
+	for i, a := range keys {
+		if !used[i] {
+			aligned = append(aligned, plan.SortKey{Attr: a})
+		}
+	}
+	if aligned.Key() != natural.Key() {
+		out = append(out, aligned)
+	}
+	return out
+}

@@ -24,13 +24,27 @@ import (
 // the winner only.
 func (o *Optimizer) optimizeMemo(q plan.Node, rules []core.Rule, maxPlans int, reg *obs.Registry, phase func(string) func(), phases *[]PhaseTiming) (*Result, error) {
 	reg.Counter("optimizer.memo_runs").Inc()
+	// A root ORDER BY (a Sort without LIMIT) is not a logical operator
+	// to enumerate around — it is a physical property requirement on
+	// the root group. Strip it and carry it into extraction, which may
+	// satisfy it with a merge join's delivered order (eliminating the
+	// sort entirely), re-inject it as an enforcer, or anything between.
+	// Top-K sorts keep their node: the limit is part of the output, not
+	// a property.
+	var required plan.Order
+	inner := q
+	if s, ok := q.(*plan.Sort); ok && s.Limit < 0 && len(s.Keys) > 0 {
+		required = plan.Order(s.Keys)
+		inner = s.Input
+		reg.Counter("memo.order.required").Inc()
+	}
 	type seed struct {
 		node   plan.Node
 		prefix []string
 	}
-	seeds := []seed{{node: q}}
+	seeds := []seed{{node: inner}}
 	endSimplify := phase("simplify")
-	if s := simplify.Simplify(q); s.String() != q.String() {
+	if s := simplify.Simplify(inner); s.String() != inner.String() {
 		seeds = append(seeds, seed{node: s, prefix: []string{"simplify-outer-joins"}})
 		reg.Counter("optimizer.simplified_seeds").Inc()
 	}
@@ -80,7 +94,7 @@ func (o *Optimizer) optimizeMemo(q plan.Node, rules []core.Rule, maxPlans int, r
 	// plan among everything admitted (seeds are never charged, so a
 	// materializable plan always exists): degradation returns the
 	// best-so-far rather than an error.
-	best, err := m.Extract(roots, sess)
+	best, err := m.ExtractOrdered(roots, sess, required)
 	if err != nil {
 		return nil, fmt.Errorf("optimizer: extracting %s: %w", q, err)
 	}
@@ -88,8 +102,12 @@ func (o *Optimizer) optimizeMemo(q plan.Node, rules []core.Rule, maxPlans int, r
 	derivation := append(append([]string(nil), prefixes[best.Root]...), m.Derivation(best.Group)...)
 	if degraded != "" {
 		// A truncated memo may hold only expensive orders; offer the
-		// greedy left-deep fallback and keep whichever is cheaper.
-		if hp, ok := heuristicLeftDeep(q, sess); ok {
+		// greedy left-deep fallback (wrapped in an enforcer sort when
+		// the root requires an order) and keep whichever is cheaper.
+		if hp, ok := heuristicLeftDeep(inner, sess); ok {
+			if len(required) > 0 {
+				hp = plan.NewSortOrigin(append([]plan.SortKey(nil), required...), -1, hp, plan.SortOriginEnforcer)
+			}
 			if hc, herr := sess.PlanCost(hp); herr == nil && hc < bestCost {
 				bestPlan, bestCost = hp, hc
 				derivation = []string{HeuristicRule}
@@ -120,6 +138,23 @@ func (o *Optimizer) optimizeMemo(q plan.Node, rules []core.Rule, maxPlans int, r
 		RuleFirings: m.RuleFirings(),
 		Phases:      *phases,
 		Degraded:    degraded,
+	}
+	if len(required) > 0 {
+		enforced := 0
+		plan.Walk(bestPlan, func(n plan.Node) {
+			if s, ok := n.(*plan.Sort); ok && s.Origin == plan.SortOriginEnforcer {
+				enforced++
+			}
+		})
+		res.Order = &OrderInfo{
+			Required:  required,
+			Delivered: plan.DeliveredOrder(bestPlan, sess.ScanOrder),
+			Enforced:  enforced,
+		}
+		reg.Counter("memo.order.enforced").Add(int64(enforced))
+		if enforced == 0 {
+			reg.Counter("memo.order.eliminated").Inc()
+		}
 	}
 	return res, nil
 }

@@ -113,7 +113,28 @@ type Result struct {
 	// found before the stop — possibly the greedy left-deep fallback
 	// — rather than the optimum over the full equivalence class.
 	Degraded string
+	// Order, on the memo path, reports how a root ORDER BY was
+	// satisfied as a physical property: the required order, what the
+	// chosen plan delivers, and how many enforcer sorts were injected
+	// (zero means the requirement was eliminated — some operator's
+	// natural output order covered it). Nil when the query required no
+	// order or the saturation path ran.
+	Order *OrderInfo
 }
+
+// OrderInfo is Result.Order: the provenance of a root sort
+// requirement.
+type OrderInfo struct {
+	Required  plan.Order
+	Delivered plan.Order
+	// Enforced counts the explicit enforcer Sort nodes in the best
+	// plan; Eliminated reports the zero-enforcer case.
+	Enforced int
+}
+
+// Eliminated reports whether the requirement was met without any
+// enforcer sort.
+func (oi *OrderInfo) Eliminated() bool { return oi.Enforced == 0 }
 
 // Optimizer ranks the equivalence class of a query by estimated cost.
 type Optimizer struct {
@@ -375,6 +396,13 @@ func Explain(res *Result) string {
 	}
 	if len(res.Best.Derivation) > 0 {
 		out += "derivation:      " + strings.Join(res.Best.Derivation, " -> ") + "\n"
+	}
+	if res.Order != nil {
+		prov := fmt.Sprintf("enforced %d", res.Order.Enforced)
+		if res.Order.Eliminated() {
+			prov = "eliminated"
+		}
+		out += fmt.Sprintf("order:           required %s delivered %s (%s)\n", res.Order.Required, res.Order.Delivered, prov)
 	}
 	if len(res.Phases) > 0 {
 		parts := make([]string, len(res.Phases))

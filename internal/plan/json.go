@@ -30,6 +30,11 @@ type jsonNode struct {
 	Distinct  bool            `json:"distinct,omitempty"`
 	SortKeys  []jsonSortKey   `json:"sortKeys,omitempty"`
 	Limit     *int            `json:"limit,omitempty"`
+	Origin    string          `json:"origin,omitempty"`
+	LKeys     []jsonAttr      `json:"lkeys,omitempty"`
+	RKeys     []jsonAttr      `json:"rkeys,omitempty"`
+	Desc      []bool          `json:"desc,omitempty"`
+	InOrder   []jsonSortKey   `json:"inOrder,omitempty"`
 	Actual    *jsonActual     `json:"actual,omitempty"`
 }
 
@@ -159,17 +164,9 @@ func buildJSONNode(n Node, ann Annotations) (jsonNode, error) {
 		for i, k := range m.Keys {
 			keys[i] = attrToJSON(k)
 		}
-		aggs := make([]jsonAgg, len(m.Aggs))
-		for i, a := range m.Aggs {
-			ja := jsonAgg{Func: a.Func.String(), Out: attrToJSON(a.Out), NullIfEmpty: a.NullIfEmpty}
-			if a.Arg != nil {
-				arg, err := expr.EncodeScalar(a.Arg)
-				if err != nil {
-					return jsonNode{}, err
-				}
-				ja.Arg = arg
-			}
-			aggs[i] = ja
+		aggs, err := aggsToJSON(m.Aggs)
+		if err != nil {
+			return jsonNode{}, err
 		}
 		return jsonNode{Op: "groupby", Input: in, Keys: keys, Aggs: aggs}, nil
 	case *Project:
@@ -192,10 +189,87 @@ func buildJSONNode(n Node, ann Annotations) (jsonNode, error) {
 			keys[i] = jsonSortKey{Attr: attrToJSON(k.Attr), Desc: k.Desc}
 		}
 		limit := m.Limit
-		return jsonNode{Op: "sort", Input: in, SortKeys: keys, Limit: &limit}, nil
+		return jsonNode{Op: "sort", Input: in, SortKeys: keys, Limit: &limit, Origin: m.Origin}, nil
+	case *MergeJoin:
+		pred, err := expr.EncodePred(m.Pred)
+		if err != nil {
+			return jsonNode{}, err
+		}
+		l, err := encodeJSON(m.L, ann)
+		if err != nil {
+			return jsonNode{}, err
+		}
+		r, err := encodeJSON(m.R, ann)
+		if err != nil {
+			return jsonNode{}, err
+		}
+		lk := make([]jsonAttr, len(m.LKeys))
+		rk := make([]jsonAttr, len(m.RKeys))
+		for i := range m.LKeys {
+			lk[i] = attrToJSON(m.LKeys[i])
+			rk[i] = attrToJSON(m.RKeys[i])
+		}
+		return jsonNode{Op: "mergejoin", Kind: m.Kind.String(), Pred: pred, Left: l, Right: r,
+			LKeys: lk, RKeys: rk, Desc: append([]bool(nil), m.Desc...)}, nil
+	case *StreamAgg:
+		in, err := encodeJSON(m.Input, ann)
+		if err != nil {
+			return jsonNode{}, err
+		}
+		keys := make([]jsonAttr, len(m.Keys))
+		for i, k := range m.Keys {
+			keys[i] = attrToJSON(k)
+		}
+		aggs, err := aggsToJSON(m.Aggs)
+		if err != nil {
+			return jsonNode{}, err
+		}
+		ord := make([]jsonSortKey, len(m.InOrder))
+		for i, k := range m.InOrder {
+			ord[i] = jsonSortKey{Attr: attrToJSON(k.Attr), Desc: k.Desc}
+		}
+		return jsonNode{Op: "streamagg", Input: in, Keys: keys, Aggs: aggs, InOrder: ord}, nil
 	default:
 		return jsonNode{}, fmt.Errorf("plan: cannot encode %T", n)
 	}
+}
+
+// aggsToJSON / aggsFromJSON convert aggregate lists, shared by the
+// groupby and streamagg encodings.
+func aggsToJSON(aggs []algebra.Aggregate) ([]jsonAgg, error) {
+	out := make([]jsonAgg, len(aggs))
+	for i, a := range aggs {
+		ja := jsonAgg{Func: a.Func.String(), Out: attrToJSON(a.Out), NullIfEmpty: a.NullIfEmpty}
+		if a.Arg != nil {
+			arg, err := expr.EncodeScalar(a.Arg)
+			if err != nil {
+				return nil, err
+			}
+			ja.Arg = arg
+		}
+		out[i] = ja
+	}
+	return out, nil
+}
+
+func aggsFromJSON(jaggs []jsonAgg) ([]algebra.Aggregate, error) {
+	aggs := make([]algebra.Aggregate, len(jaggs))
+	for i, ja := range jaggs {
+		fn, err := aggFuncOf(ja.Func)
+		if err != nil {
+			return nil, err
+		}
+		a := algebra.Aggregate{Func: fn, Out: attrFromJSON(ja.Out), NullIfEmpty: ja.NullIfEmpty}
+		if len(ja.Arg) > 0 {
+			arg, err := expr.DecodeScalar(ja.Arg)
+			if err != nil {
+				return nil, err
+			}
+			a.Arg = arg
+		}
+		aggs[i] = a
+	}
+	return aggs, nil
 }
 
 // DecodeJSON deserializes a plan.
@@ -283,21 +357,9 @@ func nodeFromJSON(j jsonNode, ann Annotations) (Node, error) {
 		for i, k := range j.Keys {
 			keys[i] = attrFromJSON(k)
 		}
-		aggs := make([]algebra.Aggregate, len(j.Aggs))
-		for i, ja := range j.Aggs {
-			fn, err := aggFuncOf(ja.Func)
-			if err != nil {
-				return nil, err
-			}
-			a := algebra.Aggregate{Func: fn, Out: attrFromJSON(ja.Out), NullIfEmpty: ja.NullIfEmpty}
-			if len(ja.Arg) > 0 {
-				arg, err := expr.DecodeScalar(ja.Arg)
-				if err != nil {
-					return nil, err
-				}
-				a.Arg = arg
-			}
-			aggs[i] = a
+		aggs, err := aggsFromJSON(j.Aggs)
+		if err != nil {
+			return nil, err
 		}
 		return NewGroupBy(keys, aggs, in), nil
 	case "project":
@@ -323,7 +385,52 @@ func nodeFromJSON(j jsonNode, ann Annotations) (Node, error) {
 		if j.Limit != nil {
 			limit = *j.Limit
 		}
-		return NewSort(keys, limit, in), nil
+		return NewSortOrigin(keys, limit, in, j.Origin), nil
+	case "mergejoin":
+		pred, err := expr.DecodePred(j.Pred)
+		if err != nil {
+			return nil, err
+		}
+		l, err := decodeJSON(j.Left, ann)
+		if err != nil {
+			return nil, err
+		}
+		r, err := decodeJSON(j.Right, ann)
+		if err != nil {
+			return nil, err
+		}
+		kind, err := joinKindOf(j.Kind)
+		if err != nil {
+			return nil, err
+		}
+		if len(j.LKeys) == 0 || len(j.LKeys) != len(j.RKeys) || len(j.LKeys) != len(j.Desc) {
+			return nil, fmt.Errorf("plan: mergejoin with mismatched key lists")
+		}
+		lk := make([]schema.Attribute, len(j.LKeys))
+		rk := make([]schema.Attribute, len(j.RKeys))
+		for i := range j.LKeys {
+			lk[i] = attrFromJSON(j.LKeys[i])
+			rk[i] = attrFromJSON(j.RKeys[i])
+		}
+		return NewMergeJoin(kind, pred, lk, rk, append([]bool(nil), j.Desc...), l, r), nil
+	case "streamagg":
+		in, err := decodeJSON(j.Input, ann)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]schema.Attribute, len(j.Keys))
+		for i, k := range j.Keys {
+			keys[i] = attrFromJSON(k)
+		}
+		aggs, err := aggsFromJSON(j.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		ord := make(Order, len(j.InOrder))
+		for i, k := range j.InOrder {
+			ord[i] = SortKey{Attr: attrFromJSON(k.Attr), Desc: k.Desc}
+		}
+		return NewStreamAgg(keys, aggs, ord, in), nil
 	default:
 		return nil, fmt.Errorf("plan: unknown operator %q", j.Op)
 	}

@@ -42,6 +42,18 @@ func TestJSONRoundTrip(t *testing.T) {
 			NewJoin(InnerJoin, p, NewScan("r1"), NewScan("r2"))),
 		NewSort(nil, -1, NewScan("r1")),
 		NewJoin(InnerJoin, expr.True{}, NewScan("r1"), NewScan("r2")),
+		NewMergeJoin(LeftJoin, p,
+			[]schema.Attribute{schema.Attr("r1", "x")},
+			[]schema.Attribute{schema.Attr("r2", "x")},
+			[]bool{true}, NewScan("r1"), NewScan("r2")),
+		NewStreamAgg(
+			[]schema.Attribute{schema.Attr("r1", "x"), schema.Attr("r1", "y")},
+			[]algebra.Aggregate{
+				{Func: algebra.CountStar, Out: schema.Attr("q", "n")},
+				{Func: algebra.Sum, Arg: expr.Column("r1", "y"), Out: schema.Attr("q", "s"), NullIfEmpty: true},
+			},
+			Order{{Attr: schema.Attr("r1", "y"), Desc: true}, {Attr: schema.Attr("r1", "x")}},
+			NewScan("r1")),
 	}
 	for _, orig := range plans {
 		data, err := EncodeJSON(orig)
@@ -84,6 +96,62 @@ func TestJSONGroupByNullIfEmpty(t *testing.T) {
 	}
 }
 
+// TestJSONSortOriginRoundTrip: the Origin provenance is excluded from
+// the fingerprint (so String-comparison round trips cannot see it) but
+// must survive JSON encoding — EXPLAIN consumers rely on it to tell
+// query-required sorts from optimizer-injected enforcers.
+func TestJSONSortOriginRoundTrip(t *testing.T) {
+	for _, origin := range []string{SortOriginQuery, SortOriginEnforcer, ""} {
+		orig := NewSortOrigin([]SortKey{{Attr: schema.Attr("r1", "x")}}, -1, NewScan("r1"), origin)
+		data, err := EncodeJSON(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeJSON(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, ok := back.(*Sort)
+		if !ok {
+			t.Fatalf("decoded %T, want *Sort", back)
+		}
+		if s.Origin != origin {
+			t.Errorf("origin %q round-tripped as %q", origin, s.Origin)
+		}
+	}
+	// MergeJoin key directions and StreamAgg input order are part of
+	// the fingerprint, but pin the decoded fields directly too.
+	mj := NewMergeJoin(InnerJoin, expr.EqCols("r1", "x", "r2", "x"),
+		[]schema.Attribute{schema.Attr("r1", "x")},
+		[]schema.Attribute{schema.Attr("r2", "x")},
+		[]bool{true}, NewScan("r1"), NewScan("r2"))
+	data, err := EncodeJSON(mj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := back.(*MergeJoin)
+	if !ok || !m.Desc[0] || m.LKeys[0] != schema.Attr("r1", "x") || m.RKeys[0] != schema.Attr("r2", "x") {
+		t.Fatalf("merge join fields lost in round trip: %#v", back)
+	}
+	sa := NewStreamAgg([]schema.Attribute{schema.Attr("r1", "x")},
+		[]algebra.Aggregate{{Func: algebra.CountStar, Out: schema.Attr("q", "n")}},
+		Order{{Attr: schema.Attr("r1", "x"), Desc: true}}, NewScan("r1"))
+	if data, err = EncodeJSON(sa); err != nil {
+		t.Fatal(err)
+	}
+	if back, err = DecodeJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	g, ok := back.(*StreamAgg)
+	if !ok || g.InOrder.Key() != sa.InOrder.Key() {
+		t.Fatalf("stream agg input order lost in round trip: %#v", back)
+	}
+}
+
 func TestJSONDecodeErrors(t *testing.T) {
 	bad := []string{
 		``,
@@ -92,6 +160,8 @@ func TestJSONDecodeErrors(t *testing.T) {
 		`{"op":"join","kind":"XX","pred":{"kind":"true"},"left":{"op":"scan","rel":"a"},"right":{"op":"scan","rel":"b"}}`,
 		`{"op":"join","kind":"JOIN","pred":{"kind":"wat"},"left":{"op":"scan","rel":"a"},"right":{"op":"scan","rel":"b"}}`,
 		`{"op":"groupby","input":{"op":"scan","rel":"a"},"aggs":[{"func":"median","out":{"rel":"q","col":"c"}}]}`,
+		// mergejoin with mismatched key lists (one lkey, no rkeys/desc).
+		`{"op":"mergejoin","kind":"JOIN","pred":{"kind":"true"},"left":{"op":"scan","rel":"a"},"right":{"op":"scan","rel":"b"},"lkeys":[{"rel":"a","col":"x"}]}`,
 	}
 	for _, b := range bad {
 		if _, err := DecodeJSON([]byte(b)); err == nil {

@@ -1,0 +1,274 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Order is a physical sort property: the tuple stream is sorted
+// lexicographically by the keys, NULLs last ascending (first
+// descending) — exactly the comparator SortRows applies. A nil Order
+// means "no order guaranteed".
+type Order []SortKey
+
+// OrderBy builds an all-ascending order over attrs.
+func OrderBy(attrs ...schema.Attribute) Order {
+	o := make(Order, len(attrs))
+	for i, a := range attrs {
+		o[i] = SortKey{Attr: a}
+	}
+	return o
+}
+
+// Satisfies reports whether a stream sorted by o is also sorted by
+// req: req must be a prefix of o with identical attributes and
+// directions. Every stream satisfies the empty requirement.
+func (o Order) Satisfies(req Order) bool {
+	if len(req) > len(o) {
+		return false
+	}
+	for i, k := range req {
+		if o[i].Attr != k.Attr || o[i].Desc != k.Desc {
+			return false
+		}
+	}
+	return true
+}
+
+// Key renders the order canonically — the string (group, order)
+// optimization contexts are keyed by. The empty order keys as "".
+func (o Order) Key() string {
+	if len(o) == 0 {
+		return ""
+	}
+	parts := make([]string, len(o))
+	for i, k := range o {
+		parts[i] = k.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// String renders e.g. "[t.a, t.b desc]".
+func (o Order) String() string {
+	parts := make([]string, len(o))
+	for i, k := range o {
+		parts[i] = k.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// OrderSource answers what order a base-relation scan delivers (nil
+// when unknown or unsorted). The catalog is the usual source — order
+// is a property of the stored extension, not of the plan shape, so it
+// is deliberately kept out of node fingerprints.
+type OrderSource func(s *Scan) Order
+
+// DeliveredOrder computes the sort order the tuple stream of n is
+// guaranteed to have under the serial executor, given src for base
+// scans (nil src means scans deliver no order):
+//
+//   - Sort delivers its keys;
+//   - Select passes its input's order through (filtering preserves
+//     relative order);
+//   - a non-distinct Project delivers the longest prefix of its
+//     input's order whose attributes survive the projection;
+//   - MergeJoin delivers its left-key order for Inner and Left kinds
+//     (right padding breaks it for the other kinds);
+//   - StreamAgg delivers the order its input was consumed in;
+//   - hash-based operators (Join, GroupBy, GenSel, MGOJ, distinct
+//     Project) deliver nothing — their parallel and partitioned
+//     engines do not preserve input order.
+func DeliveredOrder(n Node, src OrderSource) Order {
+	switch m := n.(type) {
+	case *Scan:
+		if src == nil {
+			return nil
+		}
+		return src(m)
+	case *Sort:
+		return Order(m.Keys)
+	case *Select:
+		return DeliveredOrder(m.Input, src)
+	case *Project:
+		if m.Distinct {
+			return nil
+		}
+		in := DeliveredOrder(m.Input, src)
+		keep := make(map[schema.Attribute]bool, len(m.Attrs))
+		for _, a := range m.Attrs {
+			keep[a] = true
+		}
+		var out Order
+		for _, k := range in {
+			if !keep[k.Attr] {
+				break
+			}
+			out = append(out, k)
+		}
+		return out
+	case *MergeJoin:
+		if m.Kind == InnerJoin || m.Kind == LeftJoin {
+			return m.LeftOrder()
+		}
+		return nil
+	case *StreamAgg:
+		return m.InOrder
+	default:
+		return nil
+	}
+}
+
+// detectDepth caps how many key levels DetectOrder searches for; the
+// optimizer never needs more than a few leading keys and each level
+// costs a pass over the relation per remaining column.
+const detectDepth = 3
+
+// DetectOrder finds the maximal physical sort order of a stored
+// extension, greedily: at each level it picks the first schema-order,
+// non-virtual column (ascending preferred over descending) that is
+// monotone within the tie groups of the keys chosen so far. The
+// result is deterministic for a given extension, and is what the
+// statistics catalog records as a table's delivered scan order.
+func DetectOrder(r *relation.Relation) Order {
+	if r.Len() < 2 {
+		return nil
+	}
+	s := r.Schema()
+	var ord Order
+	used := make(map[int]bool)
+	idx := make([]int, 0, detectDepth)
+	desc := make([]bool, 0, detectDepth)
+	for len(ord) < detectDepth {
+		found := false
+		for i := 0; i < s.Len() && !found; i++ {
+			if used[i] || s.At(i).Virtual {
+				continue
+			}
+			for _, d := range []bool{false, true} {
+				if sortedWithin(r, idx, desc, i, d) {
+					ord = append(ord, SortKey{Attr: s.At(i), Desc: d})
+					idx = append(idx, i)
+					desc = append(desc, d)
+					used[i] = true
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	return ord
+}
+
+// sortedWithin reports whether column cand (direction candDesc) is
+// monotone within every tie group of the prefix keys idx/desc.
+func sortedWithin(r *relation.Relation, idx []int, desc []bool, cand int, candDesc bool) bool {
+	tuples := r.Tuples()
+	for i := 1; i < len(tuples); i++ {
+		prev, cur := tuples[i-1], tuples[i]
+		tie := true
+		for j, k := range idx {
+			c := compareForSort(prev[k], cur[k])
+			if desc[j] {
+				c = -c
+			}
+			if c != 0 {
+				tie = false
+				break
+			}
+		}
+		if !tie {
+			continue
+		}
+		c := compareForSort(prev[cand], cur[cand])
+		if candDesc {
+			c = -c
+		}
+		if c > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// OrderSourceFromDB builds an OrderSource that detects each base
+// relation's physical order on first use and caches it — the source
+// Validate verifies delivered-order claims against.
+func OrderSourceFromDB(db Database) OrderSource {
+	cache := make(map[string]Order)
+	return func(s *Scan) Order {
+		ord, ok := cache[s.Rel]
+		if !ok {
+			if rel, found := db[s.Rel]; found {
+				ord = DetectOrder(rel)
+			}
+			cache[s.Rel] = ord
+		}
+		return RequalifyOrder(ord, s.Rel, s.Name())
+	}
+}
+
+// RequalifyOrder rewrites the relation qualifier of every key from
+// old to new (scans renamed with AS requalify their delivered order
+// the same way they requalify their schema).
+func RequalifyOrder(o Order, old, new string) Order {
+	if old == new || len(o) == 0 {
+		return o
+	}
+	out := make(Order, len(o))
+	for i, k := range o {
+		if k.Attr.Rel == old {
+			k.Attr.Rel = new
+		}
+		out[i] = k
+	}
+	return out
+}
+
+// CompareForSort is the sort comparator of this package's physical
+// operators: NULLs order after every non-NULL value ascending, and
+// incomparable kinds order by rendered text for determinism. The
+// merge-join and streaming-aggregation executors use it to walk (and
+// verify) their sorted inputs.
+func CompareForSort(a, b value.Value) int { return compareForSort(a, b) }
+
+// CheckSorted verifies that a materialized relation is physically
+// sorted by o, with this package's comparator — the runtime
+// counterpart of Validate's static delivered-order check. Property
+// suites run it on every winner whose plan claims a delivered order;
+// the error names the first out-of-order row.
+func CheckSorted(r *relation.Relation, o Order) error {
+	if len(o) == 0 {
+		return nil
+	}
+	s := r.Schema()
+	idx := make([]int, len(o))
+	for i, k := range o {
+		idx[i] = s.IndexOf(k.Attr)
+		if idx[i] < 0 {
+			return fmt.Errorf("plan: order key %s not in schema %s", k.Attr, s)
+		}
+	}
+	tuples := r.Tuples()
+	for row := 1; row < len(tuples); row++ {
+		for i, j := range idx {
+			c := compareForSort(tuples[row-1][j], tuples[row][j])
+			if o[i].Desc {
+				c = -c
+			}
+			if c < 0 {
+				break
+			}
+			if c > 0 {
+				return fmt.Errorf("plan: row %d violates order %s on %s", row, o, o[i].Attr)
+			}
+		}
+	}
+	return nil
+}

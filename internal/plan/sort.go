@@ -25,14 +25,31 @@ func (k SortKey) String() string {
 	return k.Attr.String()
 }
 
+// Sort origins, carried for EXPLAIN provenance: who asked for this
+// sort. The zero value ("") renders as nothing, keeping plans that
+// never met the order-aware optimizer unchanged.
+const (
+	// SortOriginQuery marks a sort the query text required (ORDER BY).
+	SortOriginQuery = "query"
+	// SortOriginEnforcer marks a sort the optimizer injected to
+	// establish a required order no child delivered for free.
+	SortOriginEnforcer = "enforcer"
+)
+
 // Sort orders its input by the keys and optionally keeps only the
-// first Limit rows (Limit < 0 means no limit). It is a presentation
-// operator: lowering places it at the root and the reordering rules
-// pass over it untouched.
+// first Limit rows (Limit < 0 means no limit). Lowering places it at
+// the root for ORDER BY/LIMIT and the reordering rules pass over it
+// untouched; the order-aware memo additionally injects it as an
+// enforcer wherever a required order must be established.
 type Sort struct {
 	Keys  []SortKey
 	Limit int
-	Input Node
+	// Origin records provenance for EXPLAIN (SortOriginQuery,
+	// SortOriginEnforcer, or ""). It is excluded from the fingerprint:
+	// two sorts with the same keys are the same operator regardless of
+	// who asked for them.
+	Origin string
+	Input  Node
 
 	fp fpCache
 }
@@ -40,6 +57,11 @@ type Sort struct {
 // NewSort builds a sort node; limit < 0 disables the limit.
 func NewSort(keys []SortKey, limit int, in Node) *Sort {
 	return &Sort{Keys: keys, Limit: limit, Input: in}
+}
+
+// NewSortOrigin is NewSort with explicit provenance.
+func NewSortOrigin(keys []SortKey, limit int, in Node, origin string) *Sort {
+	return &Sort{Keys: keys, Limit: limit, Origin: origin, Input: in}
 }
 
 // Children implements Node.
@@ -50,7 +72,7 @@ func (s *Sort) WithChildren(ch []Node) Node {
 	if len(ch) != 1 {
 		panic("plan: Sort needs one child")
 	}
-	return &Sort{Keys: s.Keys, Limit: s.Limit, Input: ch[0]}
+	return &Sort{Keys: s.Keys, Limit: s.Limit, Origin: s.Origin, Input: ch[0]}
 }
 
 // Schema implements Node.
@@ -66,6 +88,10 @@ func (s *Sort) Eval(db Database) (*relation.Relation, error) {
 }
 
 // SortRows applies the ordering and limit to a materialized relation.
+// With a limit below the input size it selects the top K rows with a
+// bounded heap — O(n log k) instead of sorting everything — and is
+// pinned row-identical to the full sort-then-truncate: ties break by
+// original row position, which is exactly what the stable sort did.
 func SortRows(in *relation.Relation, keys []SortKey, limit int) (*relation.Relation, error) {
 	idx := make([]int, len(keys))
 	for i, k := range keys {
@@ -74,6 +100,15 @@ func SortRows(in *relation.Relation, keys []SortKey, limit int) (*relation.Relat
 			return nil, fmt.Errorf("plan: sort key %s not in %s", k.Attr, in.Schema())
 		}
 	}
+	if limit >= 0 && limit < in.Len() {
+		return sortRowsTopK(in, keys, idx, limit), nil
+	}
+	return sortRowsAll(in, keys, idx, limit), nil
+}
+
+// sortRowsAll is the full stable sort (and the reference the top-K
+// selection is pinned against in the tests).
+func sortRowsAll(in *relation.Relation, keys []SortKey, idx []int, limit int) *relation.Relation {
 	rows := append([]relation.Tuple(nil), in.Tuples()...)
 	sort.SliceStable(rows, func(a, b int) bool {
 		for i, j := range idx {
@@ -96,7 +131,81 @@ func SortRows(in *relation.Relation, keys []SortKey, limit int) (*relation.Relat
 	for _, t := range rows {
 		out.Append(t)
 	}
-	return out, nil
+	return out
+}
+
+// sortRowsTopK selects the first limit rows of the sorted order with
+// a bounded max-heap of row indexes: a row enters only when it beats
+// the current k-th row, so n-k rows cost one comparison each. The
+// (keys, original position) comparator is a total order, which makes
+// the selection — and the final in-heap sort — reproduce the stable
+// full sort's output exactly.
+func sortRowsTopK(in *relation.Relation, keys []SortKey, idx []int, limit int) *relation.Relation {
+	out := relation.New(in.Schema())
+	if limit == 0 {
+		return out
+	}
+	tuples := in.Tuples()
+	// less orders by the sort keys, then by original position —
+	// stable-tie semantics as a strict weak... in fact total order.
+	less := func(a, b int) bool {
+		for i, j := range idx {
+			c := compareForSort(tuples[a][j], tuples[b][j])
+			if c == 0 {
+				continue
+			}
+			if keys[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return a < b
+	}
+	// heap[0] is the WORST of the kept rows (max-heap under less).
+	heap := make([]int, 0, limit)
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < len(heap) && less(heap[big], heap[l]) {
+				big = l
+			}
+			if r < len(heap) && less(heap[big], heap[r]) {
+				big = r
+			}
+			if big == i {
+				return
+			}
+			heap[i], heap[big] = heap[big], heap[i]
+			i = big
+		}
+	}
+	siftUp := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !less(heap[p], heap[i]) {
+				return
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	for i := range tuples {
+		if len(heap) < limit {
+			heap = append(heap, i)
+			siftUp(len(heap) - 1)
+			continue
+		}
+		if less(i, heap[0]) {
+			heap[0] = i
+			siftDown(0)
+		}
+	}
+	sort.Slice(heap, func(a, b int) bool { return less(heap[a], heap[b]) })
+	for _, i := range heap {
+		out.Append(tuples[i])
+	}
+	return out
 }
 
 // compareForSort orders values with NULLs after every non-NULL value.

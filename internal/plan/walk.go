@@ -131,11 +131,35 @@ func Indent(n Node) string {
 			for i, k := range m.Keys {
 				keys[i] = k.String()
 			}
-			if m.Limit >= 0 {
-				fmt.Fprintf(&b, "%sSort [%s] limit %d\n", pad, strings.Join(keys, ", "), m.Limit)
-			} else {
-				fmt.Fprintf(&b, "%sSort [%s]\n", pad, strings.Join(keys, ", "))
+			origin := ""
+			if m.Origin != "" {
+				origin = " (" + m.Origin + ")"
 			}
+			if m.Limit >= 0 {
+				fmt.Fprintf(&b, "%sSort [%s] limit %d%s\n", pad, strings.Join(keys, ", "), m.Limit, origin)
+			} else {
+				fmt.Fprintf(&b, "%sSort [%s]%s\n", pad, strings.Join(keys, ", "), origin)
+			}
+		case *MergeJoin:
+			keys := make([]string, len(m.LKeys))
+			for i := range m.LKeys {
+				d := ""
+				if m.Desc[i] {
+					d = " desc"
+				}
+				keys[i] = m.LKeys[i].String() + "=" + m.RKeys[i].String() + d
+			}
+			fmt.Fprintf(&b, "%sMergeJoin %s on %s keys [%s]\n", pad, m.Kind, m.Pred, strings.Join(keys, ", "))
+		case *StreamAgg:
+			keys := make([]string, len(m.Keys))
+			for i, k := range m.Keys {
+				keys[i] = k.String()
+			}
+			aggs := make([]string, len(m.Aggs))
+			for i, a := range m.Aggs {
+				aggs[i] = a.String()
+			}
+			fmt.Fprintf(&b, "%sStreamAgg [%s] aggs [%s] sorted %s\n", pad, strings.Join(keys, ", "), strings.Join(aggs, ", "), m.InOrder)
 		default:
 			fmt.Fprintf(&b, "%s%s\n", pad, n)
 		}

@@ -38,6 +38,10 @@ type ColumnStats struct {
 type TableStats struct {
 	Rows    float64
 	Columns map[string]ColumnStats // keyed by column name
+	// Sorted is the physical sort order the stored extension delivers
+	// when scanned (nil when unsorted) — the property the order-aware
+	// extractor consults to skip enforcer sorts over pre-sorted input.
+	Sorted plan.Order
 }
 
 // Catalog maps base relation names to statistics.
@@ -77,6 +81,7 @@ func FromDatabase(db plan.Database) Catalog {
 			}
 			ts.Columns[a.Col] = cs
 		}
+		ts.Sorted = plan.DetectOrder(rel)
 		cat[name] = ts
 	}
 	return cat
@@ -215,25 +220,10 @@ func (e *Estimator) rowsSwitch(n plan.Node, s *Session) (float64, error) {
 		}
 		return in * e.Selectivity(m.Pred), nil
 	case *plan.Join:
-		l, err := e.rows(m.L, s)
-		if err != nil {
-			return 0, err
-		}
-		r, err := e.rows(m.R, s)
-		if err != nil {
-			return 0, err
-		}
-		match := l * r * e.Selectivity(m.Pred)
-		switch m.Kind {
-		case plan.InnerJoin:
-			return match, nil
-		case plan.LeftJoin:
-			return math.Max(match, l), nil
-		case plan.RightJoin:
-			return math.Max(match, r), nil
-		default: // FullJoin
-			return math.Max(match, math.Max(l, r)), nil
-		}
+		return e.joinRows(m.Kind, m.Pred, m.L, m.R, s)
+	case *plan.MergeJoin:
+		// Same logical output as the hash join of the same kind.
+		return e.joinRows(m.Kind, m.Pred, m.L, m.R, s)
 	case *plan.GenSel:
 		in, err := e.rows(m.Input, s)
 		if err != nil {
@@ -259,23 +249,10 @@ func (e *Estimator) rowsSwitch(n plan.Node, s *Session) (float64, error) {
 		match := l * r * e.Selectivity(m.Pred)
 		return match + float64(len(m.Preserved))*math.Max(l, r)*0.5, nil
 	case *plan.GroupBy:
-		in, err := e.rows(m.Input, s)
-		if err != nil {
-			return 0, err
-		}
-		groups := 1.0
-		for _, k := range m.Keys {
-			if k.Virtual {
-				// A row identifier makes groups nearly per-row.
-				groups *= math.Max(1, in)
-			} else {
-				groups *= math.Max(1, e.Cat.column(k).Distinct)
-			}
-			if groups >= in {
-				break
-			}
-		}
-		return math.Min(groups, math.Max(1, in)), nil
+		return e.groupRows(m.Keys, m.Input, s)
+	case *plan.StreamAgg:
+		// Same logical output as hash grouping on the same keys.
+		return e.groupRows(m.Keys, m.Input, s)
 	case *plan.Project:
 		in, err := e.rows(m.Input, s)
 		if err != nil {
@@ -297,6 +274,53 @@ func (e *Estimator) rowsSwitch(n plan.Node, s *Session) (float64, error) {
 	default:
 		return 0, fmt.Errorf("stats: cannot estimate %T", n)
 	}
+}
+
+// joinRows estimates the output of a join of the given kind — shared
+// by the hash and merge physical forms, which produce the same
+// multiset.
+func (e *Estimator) joinRows(kind plan.JoinKind, p expr.Pred, ln, rn plan.Node, s *Session) (float64, error) {
+	l, err := e.rows(ln, s)
+	if err != nil {
+		return 0, err
+	}
+	r, err := e.rows(rn, s)
+	if err != nil {
+		return 0, err
+	}
+	match := l * r * e.Selectivity(p)
+	switch kind {
+	case plan.InnerJoin:
+		return match, nil
+	case plan.LeftJoin:
+		return math.Max(match, l), nil
+	case plan.RightJoin:
+		return math.Max(match, r), nil
+	default: // FullJoin
+		return math.Max(match, math.Max(l, r)), nil
+	}
+}
+
+// groupRows estimates the number of groups over keys — shared by the
+// hash and streaming physical forms.
+func (e *Estimator) groupRows(keys []schema.Attribute, input plan.Node, s *Session) (float64, error) {
+	in, err := e.rows(input, s)
+	if err != nil {
+		return 0, err
+	}
+	groups := 1.0
+	for _, k := range keys {
+		if k.Virtual {
+			// A row identifier makes groups nearly per-row.
+			groups *= math.Max(1, in)
+		} else {
+			groups *= math.Max(1, e.Cat.column(k).Distinct)
+		}
+		if groups >= in {
+			break
+		}
+	}
+	return math.Min(groups, math.Max(1, in)), nil
 }
 
 // PlanCost estimates the total abstract cost of executing n,
@@ -393,6 +417,30 @@ func (e *Estimator) costSwitch(n plan.Node, s *Session, rec func(plan.Node) (flo
 			}
 			opCost += float64(preserved) * (lr + rr) * e.Cost.Hash
 			return rows, lc + rc + opCost, nil
+		case *plan.MergeJoin:
+			lr, lc, err := rec(m.L)
+			if err != nil {
+				return 0, 0, err
+			}
+			rr, rc, err := rec(m.R)
+			if err != nil {
+				return 0, 0, err
+			}
+			// One interleaved pass over both sorted inputs — a
+			// comparison per advance, no hash table — plus the output.
+			// The savings relative to a hash join are real only when
+			// the inputs arrive sorted; when they do not, the explicit
+			// enforcer Sort nodes beneath carry the n log n charge.
+			op := (lr+rr)*e.Cost.Pred + rows*e.Cost.Tuple
+			return rows, lc + rc + op, nil
+		case *plan.StreamAgg:
+			in, c, err := rec(m.Input)
+			if err != nil {
+				return 0, 0, err
+			}
+			// A boundary comparison per input tuple replaces the hash
+			// probe; sorted arrival is paid for by enforcers below.
+			return rows, c + in*e.Cost.Pred + rows*e.Cost.Tuple, nil
 		case *plan.GenSel:
 			in, c, err := rec(m.Input)
 			if err != nil {
@@ -497,6 +545,18 @@ func (s *Session) PlanCost(n plan.Node) (float64, error) {
 // Estimator returns the underlying estimator (catalog and cost
 // model).
 func (s *Session) Estimator() *Estimator { return s.e }
+
+// ScanOrder reports the physical sort order the scan delivers, from
+// the catalog's ANALYZE-time detection, requalified to the scan's
+// alias. It makes Session an order-aware coster: the memo's ordered
+// extractor consults it to know which leaves are born sorted.
+func (s *Session) ScanOrder(sc *plan.Scan) plan.Order {
+	ts, ok := s.e.Cat[sc.Rel]
+	if !ok {
+		return nil
+	}
+	return plan.RequalifyOrder(ts.Sorted, sc.Rel, sc.Name())
+}
 
 // hasEquiConjunct reports whether p contains a column = column
 // conjunct usable by a hash join.
