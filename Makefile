@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: all build vet test race race-par race-exec race-vec race-order spill-smoke faults smoke obs serve-smoke bench bench-all check clean
+.PHONY: all build vet test race race-par race-exec race-vec race-order race-adapt spill-smoke faults smoke obs serve-smoke bench bench-all check clean
 
 all: vet build test
 
 # The full pre-merge gauntlet: static checks, build, the tier-1 test
 # suite, the fault-injection suite under the race detector, the
 # observability smoke, the low-budget spill smoke, the query-service
-# smoke, the order-property suite, and the benchmark regression gates.
-check: vet build test faults obs spill-smoke serve-smoke race-order bench
+# smoke, the order-property suite, the adaptive/feedback suite, and
+# the benchmark regression gates.
+check: vet build test faults obs spill-smoke serve-smoke race-order race-adapt bench
 
 build:
 	$(GO) build ./...
@@ -57,6 +58,17 @@ race-order:
 	$(GO) test -race -run 'TestMergeJoin|TestStreamAgg|TestOrder|TestSortRowsTopK|TestDeliveredOrder|TestDetectOrder|TestRequalifyOrder' \
 		./internal/executor/ ./internal/plan/ ./internal/optimizer/
 
+# Focused race run for the feedback/adaptive layer: the feedback
+# store's decay/clamp/bounds properties and concurrent hammering, the
+# plan cache's singleflight refresh, the mid-query adaptive join pins
+# (build/probe swap ≡ static across engines and worker counts, spill
+# escalation), and the service-level drift → replan convergence loop.
+race-adapt:
+	$(GO) test -race -count=1 ./internal/stats/feedback/
+	$(GO) test -race -run 'TestRefresh|TestEntriesSnapshot' ./internal/plancache/
+	$(GO) test -race -run 'TestAdapt' ./internal/executor/
+	$(GO) test -race -run 'TestServiceFeedback|TestServiceCacheDebug' .
+
 # Low-MaxBytes spill smoke: the vectorized join must escape to the
 # disk-backed grace join and complete — with spill counters moving —
 # under a byte budget the in-memory build cannot fit.
@@ -71,10 +83,10 @@ spill-smoke:
 # untripped-budget determinism gates; and the cmd/reorder exit-code
 # contract.
 faults:
-	$(GO) test -race -run 'TestOptimizerFault|TestOptimizerCancelled|TestOptimizerBudget|TestExecutor|TestGuarded|TestGuard|TestBudget|TestSafely|TestRecover|TestFault|TestValidate|TestRun' \
+	$(GO) test -race -run 'TestOptimizerFault|TestOptimizerCancelled|TestOptimizerBudget|TestExecutor|TestGuarded|TestGuard|TestBudget|TestSafely|TestRecover|TestFault|TestValidate|TestRun|TestAdaptFault' \
 		./internal/guard/ ./internal/optimizer/ ./internal/executor/ ./internal/datagen/ ./internal/plan/ ./cmd/reorder/
-	$(GO) test -race -run 'TestFault|TestBuildPanicContained|TestBuildErrorNotCached|TestServiceFault' \
-		./internal/plancache/ .
+	$(GO) test -race -run 'TestFault|TestBuildPanicContained|TestBuildErrorNotCached|TestServiceFault|TestRefreshFault|TestFeedbackFaults|TestServiceFeedbackFault' \
+		./internal/plancache/ ./internal/stats/feedback/ .
 
 # Quick observability smoke: the concurrent registry/tracer tests.
 smoke:

@@ -29,6 +29,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -44,6 +45,7 @@ import (
 
 	"repro"
 	"repro/internal/benchgate"
+	"repro/internal/datagen"
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/value"
@@ -174,6 +176,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	burst := g.burst(*conc + *queue + 12)
 	fmt.Fprintln(stdout, burst)
 
+	// Feedback recovery: the skewed workload whose static plan is ≥10x
+	// misestimated, served by two in-process services — feedback on vs
+	// off. The on-service must trip the drift detector, replan within
+	// five requests, and hold a ≥3x steady-state latency advantage.
+	fb, fbErr := feedbackPhase(*short, *workers, stdout)
+	if fbErr != nil {
+		fmt.Fprintf(stderr, "benchserve: feedback phase: %v\n", fbErr)
+		return exitRuntime
+	}
+
 	// Scrape and validate /metrics before shutdown.
 	families, err := scrapeMetrics(client, base)
 	if err != nil {
@@ -200,6 +212,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CacheMisses:  cacheMisses,
 		Evictions:    stats.Evicted,
 		Singleflight: stats.Waits,
+		Feedback:     fb,
 	}
 
 	// Gates.
@@ -225,6 +238,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	check(overload.Errors == 0,
 		"overload produced %d untyped errors (want typed shed/deadline only)", overload.Errors)
 	check(drained, "goroutines did not return to baseline after shutdown")
+	check(fb.FirstMaxQError >= 10,
+		"skewed workload's first-run max q-error %.1f < 10 — the static plan is not misestimated enough to gate on", fb.FirstMaxQError)
+	check(fb.ReplanByRequest >= 0 && fb.ReplanByRequest <= 5,
+		"feedback replan landed at request %d, want within 5", fb.ReplanByRequest)
+	check(fb.OnP50Ms*3 <= fb.OffP50Ms,
+		"feedback steady-state P50 %.3fms is not ≥3x below feedback-off %.3fms", fb.OnP50Ms, fb.OffP50Ms)
+	check(fb.DriftTrips >= 1, "feedback.drift_trips=%d, want ≥ 1", fb.DriftTrips)
 
 	report.Gates = gateSummaries(failures)
 	if err := benchgate.WriteJSON(*out, report); err != nil {
@@ -534,6 +554,100 @@ func waitGoroutines(max int, timeout time.Duration) bool {
 	return runtime.NumGoroutine() <= max
 }
 
+// feedbackReport summarizes the feedback-recovery phase.
+type feedbackReport struct {
+	// ReplanByRequest is the 0-based request index whose drift
+	// observation triggered the first re-plan (-1 = never).
+	ReplanByRequest int     `json:"replanByRequest"`
+	FirstMaxQError  float64 `json:"firstMaxQError"`
+	// OnP50Ms / OffP50Ms are steady-state (second half) request P50s
+	// with feedback on vs off.
+	OnP50Ms     float64 `json:"onP50Ms"`
+	OffP50Ms    float64 `json:"offP50Ms"`
+	SpeedupX    float64 `json:"speedupX"`
+	DriftTrips  int64   `json:"driftTrips"`
+	Replans     int64   `json:"replans"`
+	Corrections int64   `json:"corrections"`
+}
+
+// feedbackPhase drives the skewed/correlated workload — zipfian fact
+// keys, v a pure function of k — through two in-process services,
+// feedback on and off, 12 sequential requests each. The static plan
+// misestimates σ(fact) by ~two orders of magnitude; the feedback
+// service must observe the drift, re-plan, and settle on a plan fast
+// enough to clear the ≥3x steady-state gate.
+func feedbackPhase(short bool, workers int, stdout io.Writer) (feedbackReport, error) {
+	cfg := datagen.DefaultSkewConfig
+	if short {
+		// serve-smoke runs under -race; scale the data, not the shape
+		// (the zipf share — and so the q-error — is size-independent).
+		cfg.FactRows, cfg.DimRows, cfg.TagRows = 5000, 16000, 500
+		cfg.JoinDomain, cfg.ADomain = 400, 400
+	}
+	db := datagen.Skewed(cfg)
+	const query = "select fact.k, count(*) as n from fact, d1, d2 " +
+		"where fact.j = d1.j and d1.a = d2.a and fact.k = 0 and fact.v = 0 and d2.tag = 0 group by fact.k"
+	const runs = 12
+
+	drive := func(feedback bool) ([]time.Duration, []*reorder.Response, *reorder.Service, error) {
+		svc, err := reorder.NewService(reorder.ServiceConfig{
+			DB:             db,
+			Feedback:       feedback,
+			ReplanQError:   10,
+			ReplanAfter:    2,
+			Workers:        workers,
+			DefaultTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		lats := make([]time.Duration, 0, runs)
+		resps := make([]*reorder.Response, 0, runs)
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			resp, err := svc.Query(context.Background(), reorder.Request{SQL: query})
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("feedback=%v run %d: %w", feedback, i, err)
+			}
+			lats = append(lats, time.Since(start))
+			resps = append(resps, resp)
+		}
+		return lats, resps, svc, nil
+	}
+
+	offLats, _, _, err := drive(false)
+	if err != nil {
+		return feedbackReport{}, err
+	}
+	onLats, onResps, onSvc, err := drive(true)
+	if err != nil {
+		return feedbackReport{}, err
+	}
+
+	rep := feedbackReport{ReplanByRequest: -1, FirstMaxQError: onResps[0].MaxQError}
+	for i, r := range onResps {
+		if r.Replanned {
+			rep.ReplanByRequest = i
+			break
+		}
+	}
+	// Steady state: the second half, after the replans have settled.
+	rep.OnP50Ms = pctMs(onLats[runs/2:], 0.50)
+	rep.OffP50Ms = pctMs(offLats[runs/2:], 0.50)
+	if rep.OnP50Ms > 0 {
+		rep.SpeedupX = rep.OffP50Ms / rep.OnP50Ms
+	}
+	snap := onSvc.Observer().Registry.Snapshot()
+	rep.DriftTrips = snap.Counters["feedback.drift_trips"]
+	rep.Replans = snap.Counters["feedback.replans"]
+	rep.Corrections = snap.Counters["feedback.corrections"]
+	fmt.Fprintf(stdout,
+		"feedback  firstQ=%.1f replanBy=%d on.p50=%.3fms off.p50=%.3fms speedup=%.1fx trips=%d replans=%d corrections=%d\n",
+		rep.FirstMaxQError, rep.ReplanByRequest, rep.OnP50Ms, rep.OffP50Ms, rep.SpeedupX,
+		rep.DriftTrips, rep.Replans, rep.Corrections)
+	return rep, nil
+}
+
 // serveReport is BENCH_serve.json.
 type serveReport struct {
 	GoMaxProcs   int                      `json:"gomaxprocs"`
@@ -546,6 +660,7 @@ type serveReport struct {
 	CacheMisses  int64                    `json:"plancacheMisses"`
 	Evictions    int64                    `json:"plancacheEvictions"`
 	Singleflight int64                    `json:"plancacheSingleflightWaits"`
+	Feedback     feedbackReport           `json:"feedback"`
 	Gates        []string                 `json:"gates"`
 }
 
@@ -554,12 +669,14 @@ type serveReport struct {
 var seedBaselines = []benchgate.SeedBaseline{
 	{Name: "serveHitP50", MsPerOp: 11.7, Note: "PR8 seed: cache-hit P50 at 40/s on the 6-relation chain (1-core container)"},
 	{Name: "serveMissP50", MsPerOp: 1563.2, Note: "PR8 seed: bypass P50 at 2/s (full optimization per request, 1-core container)"},
+	{Name: "serveFeedbackOnP50", MsPerOp: 45.6, Note: "PR10 seed: skewed-workload steady-state P50 with feedback-driven re-planning"},
+	{Name: "serveFeedbackOffP50", MsPerOp: 266.6, Note: "PR10 seed: same workload pinned to the static misestimated plan"},
 }
 
 // gateSummaries renders the gate outcomes for the report.
 func gateSummaries(failures []string) []string {
 	if len(failures) == 0 {
-		return []string{"ok: hit P50 ≥10x below miss P50", "ok: one optimization per template", "ok: typed outcomes only under 2x saturation", "ok: burst beyond admission bound shed typed 429s", "ok: goroutines drained"}
+		return []string{"ok: hit P50 ≥10x below miss P50", "ok: one optimization per template", "ok: typed outcomes only under 2x saturation", "ok: burst beyond admission bound shed typed 429s", "ok: goroutines drained", "ok: feedback replanned within 5 requests and holds ≥3x steady-state P50 on the skewed workload"}
 	}
 	out := make([]string, len(failures))
 	for i, f := range failures {

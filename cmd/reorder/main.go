@@ -62,6 +62,8 @@ type options struct {
 	trace         bool
 	statsJSON     bool
 	vec           bool
+	feedback      bool
+	replanQ       float64
 	workers       int
 	timeout       time.Duration
 	maxExprs      int64
@@ -79,7 +81,7 @@ type options struct {
 // wantAnalyze: -metrics-addr implies an instrumented run — the
 // aggregate registry and flight recorder are only populated by one.
 func (o options) wantAnalyze() bool {
-	return o.stats || o.trace || o.statsJSON || o.metricsAddr != ""
+	return o.stats || o.trace || o.statsJSON || o.feedback || o.metricsAddr != ""
 }
 
 func (o options) limits() reorder.Limits {
@@ -126,6 +128,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&o.trace, "trace", false, "print the optimizer/executor span trace")
 	fs.BoolVar(&o.statsJSON, "statsjson", false, "dump the EXPLAIN ANALYZE report as JSON")
 	fs.BoolVar(&o.vec, "vec", false, "execute on the columnar vectorized engine (joins spill to disk under -max-bytes pressure)")
+	fs.BoolVar(&o.feedback, "feedback", false, "one-shot cardinality feedback: EXPLAIN ANALYZE, record actuals, and re-plan + re-execute when the worst subtree q-error reaches -replan-qerror")
+	fs.Float64Var(&o.replanQ, "replan-qerror", 10, "q-error threshold for the -feedback re-plan")
 	fs.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "goroutines for plan enumeration and costing (1 = serial; the result is identical for any value)")
 	fs.DurationVar(&o.timeout, "timeout", 0, "wall-clock budget for the whole run (0 = unlimited); exceeding it exits 3")
 	fs.Int64Var(&o.maxExprs, "max-exprs", 0, "cap on enumerated plan expressions (0 = unlimited); tripping it degrades to a best-effort plan, exit 0")
@@ -311,12 +315,18 @@ func query2DB() reorder.Database {
 // analyze optimizes node, executes it instrumented under the run's
 // budget and prints the requested views of the report.
 func analyze(ctx context.Context, node reorder.Node, db reorder.Database, o options, stdout, stderr io.Writer) int {
-	rep, err := reorder.ExplainAnalyzeObservedEngine(ctx, node, db, o.workers, o.limits(), o.obs, o.vec)
+	var rep *reorder.AnalyzeReport
+	var err error
+	if o.feedback {
+		rep, err = reorder.ExplainAnalyzeFeedback(ctx, node, db, o.workers, o.limits(), o.obs, o.replanQ)
+	} else {
+		rep, err = reorder.ExplainAnalyzeObservedEngine(ctx, node, db, o.workers, o.limits(), o.obs, o.vec)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return exitFor(err)
 	}
-	if o.stats {
+	if o.stats || (o.feedback && !o.statsJSON) {
 		fmt.Fprintln(stdout, rep.String())
 	}
 	if o.trace {

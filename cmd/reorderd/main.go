@@ -56,6 +56,9 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		maxPlans    = fs.Int("max-plans", 0, "optimizer enumeration cap (0 = default)")
 		flightCap   = fs.Int("flight", 0, "flight recorder capacity (0 = default)")
 		drain       = fs.Duration("drain", 5*time.Second, "graceful shutdown drain window")
+		feedback    = fs.Bool("feedback", false, "enable cardinality feedback: instrumented execution, drift-triggered re-planning, adaptive joins")
+		replanQ     = fs.Float64("replan-qerror", 10, "max subtree q-error past which a run counts as drifted (with -feedback)")
+		replanAfter = fs.Int("replan-after", 3, "consecutive drifted runs before re-planning (with -feedback)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -90,6 +93,9 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		Workers:        *workers,
 		MaxPlans:       *maxPlans,
 		FlightCap:      *flightCap,
+		Feedback:       *feedback,
+		ReplanQError:   *replanQ,
+		ReplanAfter:    *replanAfter,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "reorderd: %v\n", err)

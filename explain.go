@@ -20,6 +20,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/stats"
+	"repro/internal/stats/feedback"
 )
 
 // PhaseNs is one optimizer phase's wall time in the JSON report.
@@ -41,6 +42,12 @@ type AnalyzeReport struct {
 	RowsOut      int     `json:"rowsOut"`
 	Engine       string  `json:"engine,omitempty"`   // execution engine: "tuple" (default) or "vector"
 	Degraded     string  `json:"degraded,omitempty"` // non-empty when a budget trip truncated enumeration
+	// Feedback provenance: how many estimates the optimizer took from
+	// the cardinality-feedback store, this run's worst subtree
+	// q-error, and whether the plan is a feedback-driven re-plan.
+	FeedbackCorrections int     `json:"feedbackCorrections,omitempty"`
+	MaxQError           float64 `json:"maxQError,omitempty"`
+	Replanned           bool    `json:"replanned,omitempty"`
 	// Order provenance (memo path, root ORDER BY only): the required
 	// order, the best plan's delivered order, and how many enforcer
 	// sorts satisfy the gap (0 = the requirement was eliminated).
@@ -94,6 +101,36 @@ func ExplainAnalyzeVectorizedBudget(ctx context.Context, q Node, db Database, wo
 	return explainAnalyze(q, db, workers, guard.New(ctx, l, reg), reg, nil, true)
 }
 
+// ExplainAnalyzeFeedback is the one-shot feedback loop behind
+// cmd/reorder's -feedback flag: run EXPLAIN ANALYZE once recording
+// per-subtree actual cardinalities into a fresh feedback store, and —
+// when the worst subtree q-error reaches replanQ (≤0 means 10) —
+// re-optimize with the corrected estimates and re-execute, returning
+// the re-planned report (Replanned set, FeedbackCorrections counting
+// the estimates the second optimization took from the store). A query
+// whose estimates hold up returns the first report unchanged.
+func ExplainAnalyzeFeedback(ctx context.Context, q Node, db Database, workers int, l Limits, ob *Observer, replanQ float64) (*AnalyzeReport, error) {
+	if replanQ <= 0 {
+		replanQ = 10
+	}
+	fb := feedback.New(feedback.Options{})
+	reg := obs.NewRegistry()
+	first, err := explainAnalyzeFeedback(q, db, workers, guard.New(ctx, l, reg), reg, ob, false, fb)
+	if err != nil {
+		return nil, err
+	}
+	if first.MaxQError < replanQ {
+		return first, nil
+	}
+	reg = obs.NewRegistry()
+	second, err := explainAnalyzeFeedback(q, db, workers, guard.New(ctx, l, reg), reg, ob, false, fb)
+	if err != nil {
+		return nil, err
+	}
+	second.Replanned = true
+	return second, nil
+}
+
 // ExplainAnalyzeBudget is ExplainAnalyze under resource governance:
 // ctx cancellation/deadline and l's limits bound both the
 // optimization (degrading gracefully on an exprs trip — see
@@ -111,6 +148,15 @@ func ExplainAnalyzeBudget(ctx context.Context, q Node, db Database, workers int,
 // the private registry merges into ob.Registry and one flight.Record —
 // including the per-operator q-error rows — lands in ob.Flight.
 func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.Registry, ob *Observer, vec bool) (*AnalyzeReport, error) {
+	return explainAnalyzeFeedback(q, db, workers, b, reg, ob, vec, nil)
+}
+
+// explainAnalyzeFeedback is explainAnalyze with an optional
+// cardinality-feedback store: the optimizer consults it for corrected
+// estimates, execution runs adaptively, per-operator estimates come
+// from a feedback-aware session, and each composite subtree's actual
+// cardinality is recorded back into the store.
+func explainAnalyzeFeedback(q Node, db Database, workers int, b *guard.Budget, reg *obs.Registry, ob *Observer, vec bool, fb *feedback.Store) (*AnalyzeReport, error) {
 	start := time.Now()
 	tracer := obs.NewTracer()
 	est := stats.NewEstimator(stats.FromDatabase(db))
@@ -119,6 +165,7 @@ func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.
 	opt.Opts.Tracer = tracer
 	opt.Opts.Workers = workers
 	opt.Opts.Budget = b
+	opt.Opts.Feedback = fb
 	res, err := opt.Optimize(q, db)
 	if err != nil {
 		ob.record(q, nil, nil, reg, b, start, 0, err, 0, nil)
@@ -129,9 +176,13 @@ func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.
 	execStart := time.Now()
 	var out *relation.Relation
 	var ann plan.Annotations
-	if vec {
+	switch {
+	case vec:
 		out, ann, err = executor.RunVectorizedInstrumented(res.Best.Plan, db, reg, b)
-	} else {
+	case fb != nil:
+		out, ann, err = executor.RunInstrumentedAdaptive(res.Best.Plan, db, reg, b,
+			&executor.Adapt{SwapFactor: 4, Spill: true})
+	default:
 		out, ann, err = executor.RunInstrumentedGuarded(res.Best.Plan, db, reg, b)
 	}
 	execNs := time.Since(execStart).Nanoseconds()
@@ -149,17 +200,31 @@ func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.
 	// transfers to any plan containing the same subtree.
 	var ops []flight.OpStat
 	qerr := reg.HistogramVec("executor.qerror_milli", "op")
+	sess := est.NewSession(reg)
+	sess.SetFeedback(fb) // nil-safe: static estimates when no store
+	maxQ := 1.0
+	type obsRow struct {
+		key         string
+		est, actual float64
+	}
+	var corrections []obsRow
 	plan.Walk(res.Best.Plan, func(n plan.Node) {
 		a := ann[n]
 		if a == nil {
 			return
 		}
-		if rows, err := est.Rows(n); err == nil {
+		if rows, err := sess.Rows(n); err == nil {
 			a.EstRows = rows
 		}
 		op := executor.OpName(n)
 		qe := flight.QError(a.EstRows, a.Rows)
 		qerr.With(op).Observe(int64(qe*1000 + 0.5))
+		if fb != nil && len(n.Children()) > 0 {
+			if qe > maxQ {
+				maxQ = qe
+			}
+			corrections = append(corrections, obsRow{key: plan.Key(n), est: a.EstRows, actual: float64(a.Rows)})
+		}
 		ops = append(ops, flight.OpStat{
 			Op:      op,
 			Key:     plan.Key(n),
@@ -169,6 +234,14 @@ func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.
 			Ns:      a.Elapsed.Nanoseconds(),
 		})
 	})
+	// Record actuals only after every estimate above was computed: the
+	// report must show what the optimizer believed going in, not the
+	// post-hoc corrected figures.
+	for _, c := range corrections {
+		if err := fb.Record(c.key, c.est, c.actual); err != nil {
+			return nil, err
+		}
+	}
 
 	tree, err := plan.EncodeJSONAnnotated(res.Best.Plan, ann)
 	if err != nil {
@@ -189,6 +262,10 @@ func explainAnalyze(q Node, db Database, workers int, b *guard.Budget, reg *obs.
 		PlanTree:     tree,
 		node:         res.Best.Plan,
 		ann:          ann,
+	}
+	if fb != nil {
+		r.FeedbackCorrections = res.FeedbackCorrections
+		r.MaxQError = maxQ
 	}
 	if res.Order != nil {
 		r.RequiredOrder = res.Order.Required.String()
@@ -254,6 +331,13 @@ func (r *AnalyzeReport) String() string {
 	}
 	if r.Degraded != "" {
 		fmt.Fprintf(&b, "degraded:         %s (best-effort plan, not the full-class optimum)\n", r.Degraded)
+	}
+	if r.FeedbackCorrections > 0 || r.Replanned {
+		fmt.Fprintf(&b, "feedback:         corrected %d estimates", r.FeedbackCorrections)
+		if r.Replanned {
+			b.WriteString(" (replanned)")
+		}
+		b.WriteString("\n")
 	}
 	if r.RequiredOrder != "" {
 		prov := fmt.Sprintf("enforced %d", r.OrderEnforced)

@@ -1,0 +1,71 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+// TestSkewedDeterministic: the same config yields byte-identical
+// relations — the gate benchmark's baseline depends on it.
+func TestSkewedDeterministic(t *testing.T) {
+	a, b := Skewed(DefaultSkewConfig), Skewed(DefaultSkewConfig)
+	for _, name := range []string{"fact", "d1", "d2"} {
+		if a[name].String() != b[name].String() {
+			t.Fatalf("%s differs across identical configs", name)
+		}
+	}
+}
+
+// TestSkewedShape pins sizes and domains.
+func TestSkewedShape(t *testing.T) {
+	cfg := DefaultSkewConfig
+	db := Skewed(cfg)
+	if got := db["fact"].Len(); got != cfg.FactRows {
+		t.Fatalf("fact rows = %d, want %d", got, cfg.FactRows)
+	}
+	if got := db["d1"].Len(); got != cfg.DimRows {
+		t.Fatalf("d1 rows = %d, want %d", got, cfg.DimRows)
+	}
+	if got := db["d2"].Len(); got != cfg.TagRows {
+		t.Fatalf("d2 rows = %d, want %d", got, cfg.TagRows)
+	}
+	for _, tup := range db["fact"].Tuples() {
+		k := tup[0].Int()
+		if k < 0 || k >= int64(cfg.Keys) {
+			t.Fatalf("fact.k = %d outside [0, %d)", k, cfg.Keys)
+		}
+	}
+}
+
+// TestSkewedSkewAndCorrelation: key 0 owns far more than its uniform
+// share of the fact table, and v is exactly k mod CorrMod on every
+// row — the two properties that break the estimator's uniformity and
+// independence assumptions.
+func TestSkewedSkewAndCorrelation(t *testing.T) {
+	cfg := DefaultSkewConfig
+	db := Skewed(cfg)
+	k0 := 0
+	for _, tup := range db["fact"].Tuples() {
+		k, v := tup[0].Int(), tup[1].Int()
+		if v != k%int64(cfg.CorrMod) {
+			t.Fatalf("v = %d, want k %% %d = %d", v, cfg.CorrMod, k%int64(cfg.CorrMod))
+		}
+		if k == 0 {
+			k0++
+		}
+	}
+	uniformShare := cfg.FactRows / cfg.Keys
+	if k0 < 10*uniformShare {
+		t.Fatalf("key 0 has %d rows, want ≥ 10× the uniform share (%d)", k0, uniformShare)
+	}
+	nonNull := 0
+	for _, tup := range db["fact"].Tuples() {
+		if tup[0] != value.Null {
+			nonNull++
+		}
+	}
+	if nonNull != cfg.FactRows {
+		t.Fatalf("fact.k has NULLs: %d non-null of %d", nonNull, cfg.FactRows)
+	}
+}

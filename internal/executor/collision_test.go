@@ -51,7 +51,7 @@ func TestHashJoinCollisionVerification(t *testing.T) {
 	r := collideRel("r", 4, 2)
 	before := obs.Default().Counter("exec.hash.collisions").Value()
 	st := &joinProbe{}
-	out, err := joinExecProbe(plan.InnerJoin, expr.EqCols("l", "x", "r", "x"), l, r, st, nil)
+	out, err := joinExecProbe(plan.InnerJoin, expr.EqCols("l", "x", "r", "x"), l, r, st, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,7 +29,7 @@ const execBatchRows = 1024
 
 // Run executes the plan against db.
 func Run(n plan.Node, db plan.Database) (*relation.Relation, error) {
-	return run(n, db, nil)
+	return run(n, db, nil, nil)
 }
 
 // RunGuarded is Run under resource governance: the budget's
@@ -41,7 +41,7 @@ func Run(n plan.Node, db plan.Database) (*relation.Relation, error) {
 func RunGuarded(n plan.Node, db plan.Database, b *guard.Budget) (out *relation.Relation, err error) {
 	phase := "execute"
 	defer guard.RecoverAs(&err, &phase, plan.Key(n), nil)
-	return run(n, db, b)
+	return run(n, db, b, nil)
 }
 
 // run is the guarded recursion shared by Run and RunGuarded. Each
@@ -49,11 +49,11 @@ func RunGuarded(n plan.Node, db plan.Database, b *guard.Budget) (out *relation.R
 // unbudgeted); joins charge their output incrementally inside the
 // probe loops, every other materializing operator charges its full
 // output here once computed.
-func run(n plan.Node, db plan.Database, b *guard.Budget) (*relation.Relation, error) {
+func run(n plan.Node, db plan.Database, b *guard.Budget, a *Adapt) (*relation.Relation, error) {
 	if err := b.Err(); err != nil {
 		return nil, err
 	}
-	out, err := runNode(n, db, b)
+	out, err := runNode(n, db, b, a)
 	if err != nil {
 		return nil, err
 	}
@@ -72,38 +72,38 @@ func run(n plan.Node, db plan.Database, b *guard.Budget) (*relation.Relation, er
 	return out, nil
 }
 
-func runNode(n plan.Node, db plan.Database, b *guard.Budget) (*relation.Relation, error) {
+func runNode(n plan.Node, db plan.Database, b *guard.Budget, a *Adapt) (*relation.Relation, error) {
 	switch m := n.(type) {
 	case *plan.Scan:
 		return m.Eval(db)
 	case *materialized:
 		return m.rel, nil
 	case *plan.Select:
-		in, err := run(m.Input, db, b)
+		in, err := run(m.Input, db, b, a)
 		if err != nil {
 			return nil, err
 		}
 		return algebra.Select(m.Pred, in), nil
 	case *plan.Project:
-		in, err := run(m.Input, db, b)
+		in, err := run(m.Input, db, b, a)
 		if err != nil {
 			return nil, err
 		}
 		return in.Project(m.Attrs, m.Distinct), nil
 	case *plan.GroupBy:
-		in, err := run(m.Input, db, b)
+		in, err := run(m.Input, db, b, a)
 		if err != nil {
 			return nil, err
 		}
 		return algebra.GroupProject(m.Keys, m.Aggs, in), nil
 	case *plan.Sort:
-		in, err := run(m.Input, db, b)
+		in, err := run(m.Input, db, b, a)
 		if err != nil {
 			return nil, err
 		}
 		return plan.SortRows(in, m.Keys, m.Limit)
 	case *plan.GenSel:
-		in, err := run(m.Input, db, b)
+		in, err := run(m.Input, db, b, a)
 		if err != nil {
 			return nil, err
 		}
@@ -113,37 +113,37 @@ func runNode(n plan.Node, db plan.Database, b *guard.Budget) (*relation.Relation
 		}
 		return algebra.GenSelect(m.Pred, specs, in)
 	case *plan.Join:
-		l, err := run(m.L, db, b)
+		l, err := run(m.L, db, b, a)
 		if err != nil {
 			return nil, err
 		}
-		r, err := run(m.R, db, b)
+		r, err := run(m.R, db, b, a)
 		if err != nil {
 			return nil, err
 		}
-		return joinExecProbe(m.Kind, m.Pred, l, r, nil, b)
+		return joinExecProbe(m.Kind, m.Pred, l, r, nil, b, a)
 	case *plan.MGOJNode:
-		l, err := run(m.L, db, b)
+		l, err := run(m.L, db, b, a)
 		if err != nil {
 			return nil, err
 		}
-		r, err := run(m.R, db, b)
+		r, err := run(m.R, db, b, a)
 		if err != nil {
 			return nil, err
 		}
 		return mgojExecProbe(m, l, r, nil, b)
 	case *plan.MergeJoin:
-		l, err := run(m.L, db, b)
+		l, err := run(m.L, db, b, a)
 		if err != nil {
 			return nil, err
 		}
-		r, err := run(m.R, db, b)
+		r, err := run(m.R, db, b, a)
 		if err != nil {
 			return nil, err
 		}
 		return mergeJoinProbe(m, l, r, nil, b)
 	case *plan.StreamAgg:
-		in, err := run(m.Input, db, b)
+		in, err := run(m.Input, db, b, a)
 		if err != nil {
 			return nil, err
 		}
@@ -245,6 +245,9 @@ type joinProbe struct {
 	SpillParts      int   // partition files written to disk
 	SpillBytes      int64 // bytes written to spill files
 	SpillRecursions int   // recursive re-partitionings
+
+	BuildSwapped   bool // adaptive build/probe swap fired pre-probe
+	SpillEscalated bool // adaptive escalation to the grace/spill join
 }
 
 // flushArenas folds arena totals into the probe and the process-wide
@@ -267,7 +270,7 @@ func (st *joinProbe) flushArenas(arenas ...*tupleArena) {
 // predicate, using a hash join when an equality conjunct exists and a
 // nested loop otherwise.
 func JoinExec(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation) (*relation.Relation, error) {
-	return joinExecProbe(kind, pred, l, r, nil, nil)
+	return joinExecProbe(kind, pred, l, r, nil, nil, nil)
 }
 
 // chargeSince charges the growth of out since *charged against the
@@ -280,7 +283,7 @@ func chargeSince(b *guard.Budget, out *relation.Relation, charged *int, width in
 	return b.ChargeOut(d, width)
 }
 
-func joinExecProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, st *joinProbe, b *guard.Budget) (*relation.Relation, error) {
+func joinExecProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, st *joinProbe, b *guard.Budget, a *Adapt) (*relation.Relation, error) {
 	ls, rs := l.Schema(), r.Schema()
 	out := relation.New(ls.Concat(rs))
 	keys, residual := splitEqui(pred, ls, rs)
@@ -299,6 +302,13 @@ func joinExecProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, 
 	ri := make([]int, len(keys))
 	for i, k := range keys {
 		li[i], ri[i] = k.li, k.ri
+	}
+	// Mid-query adaptivity, decided before anything is built or
+	// probed: swap build/probe sides when the planned build side
+	// outgrew its estimate, or escalate to the grace/spill join when
+	// the effective build side cannot fit the byte budget's headroom.
+	if out, handled, err := adaptJoin(a, kind, pred, residual, li, ri, l, r, st, b); handled {
+		return out, err
 	}
 	// Reserve the build side's modeled resident footprint before
 	// materializing the hash table: under a MaxBytes budget an
@@ -486,8 +496,11 @@ func mgojExec(m *plan.MGOJNode, l, r *relation.Relation) (*relation.Relation, er
 	return mgojExecProbe(m, l, r, nil, nil)
 }
 
+// mgojExecProbe runs MGOJ's inner join non-adaptively: the
+// compensation pass re-reads both inputs, so a build/probe swap
+// would buy nothing.
 func mgojExecProbe(m *plan.MGOJNode, l, r *relation.Relation, st *joinProbe, b *guard.Budget) (*relation.Relation, error) {
-	join, err := joinExecProbe(plan.InnerJoin, m.Pred, l, r, st, b)
+	join, err := joinExecProbe(plan.InnerJoin, m.Pred, l, r, st, b, nil)
 	if err != nil {
 		return nil, err
 	}

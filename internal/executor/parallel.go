@@ -23,7 +23,7 @@ func RunParallel(n plan.Node, db plan.Database, workers int) (out *relation.Rela
 		workers = runtime.GOMAXPROCS(0)
 	}
 	obs.WithPhase(nil, "executor", "execute", func() {
-		out, err = runParallel(n, db, workers, nil)
+		out, err = runParallel(n, db, workers, nil, nil)
 	})
 	return out, err
 }
@@ -39,7 +39,7 @@ func RunParallelGuarded(n plan.Node, db plan.Database, workers int, b *guard.Bud
 	phase := "execute"
 	defer guard.RecoverAs(&err, &phase, plan.Key(n), nil)
 	obs.WithPhase(b.Context(), "executor", "execute", func() {
-		out, err = runParallel(n, db, workers, b)
+		out, err = runParallel(n, db, workers, b, nil)
 	})
 	return out, err
 }
@@ -48,7 +48,7 @@ func RunParallelGuarded(n plan.Node, db plan.Database, workers int, b *guard.Bud
 // entry, a fault point as each operator completes, joins charged
 // inside the partitioned probe, every other materializing operator
 // charged on its full output here.
-func runParallel(n plan.Node, db plan.Database, workers int, b *guard.Budget) (*relation.Relation, error) {
+func runParallel(n plan.Node, db plan.Database, workers int, b *guard.Budget, a *Adapt) (*relation.Relation, error) {
 	if err := b.Err(); err != nil {
 		return nil, err
 	}
@@ -65,30 +65,30 @@ func runParallel(n plan.Node, db plan.Database, workers int, b *guard.Budget) (*
 	}
 	switch m := n.(type) {
 	case *plan.Join:
-		l, err := runParallel(m.L, db, workers, b)
+		l, err := runParallel(m.L, db, workers, b, a)
 		if err != nil {
 			return nil, err
 		}
-		r, err := runParallel(m.R, db, workers, b)
+		r, err := runParallel(m.R, db, workers, b, a)
 		if err != nil {
 			return nil, err
 		}
-		out, err := partitionedJoinProbe(m.Kind, m.Pred, l, r, workers, nil, b)
+		out, err := partitionedJoinProbe(m.Kind, m.Pred, l, r, workers, nil, b, a)
 		if err != nil {
 			return nil, err
 		}
 		return finish(out, false)
 	case *plan.MGOJNode:
-		l, err := runParallel(m.L, db, workers, b)
+		l, err := runParallel(m.L, db, workers, b, a)
 		if err != nil {
 			return nil, err
 		}
-		r, err := runParallel(m.R, db, workers, b)
+		r, err := runParallel(m.R, db, workers, b, a)
 		if err != nil {
 			return nil, err
 		}
 		obs.Default().Counter("exec.parallel.mgoj").Inc()
-		join, err := partitionedJoinProbe(plan.InnerJoin, m.Pred, l, r, workers, nil, b)
+		join, err := partitionedJoinProbe(plan.InnerJoin, m.Pred, l, r, workers, nil, b, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +101,7 @@ func runParallel(n plan.Node, db plan.Database, workers int, b *guard.Budget) (*
 		}
 		return finish(out, false)
 	case *plan.GenSel:
-		in, err := runParallel(m.Input, db, workers, b)
+		in, err := runParallel(m.Input, db, workers, b, a)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +120,7 @@ func runParallel(n plan.Node, db plan.Database, workers int, b *guard.Budget) (*
 		}
 		return finish(out, true)
 	case *plan.Select:
-		in, err := runParallel(m.Input, db, workers, b)
+		in, err := runParallel(m.Input, db, workers, b, a)
 		if err != nil {
 			return nil, err
 		}
@@ -135,17 +135,17 @@ func runParallel(n plan.Node, db plan.Database, workers int, b *guard.Budget) (*
 		// the shared guard protocol to the sequential tail).
 		ch := n.Children()
 		if len(ch) == 0 {
-			return run(n, db, b)
+			return run(n, db, b, a)
 		}
 		newCh := make([]plan.Node, len(ch))
 		for i, c := range ch {
-			out, err := runParallel(c, db, workers, b)
+			out, err := runParallel(c, db, workers, b, a)
 			if err != nil {
 				return nil, err
 			}
 			newCh[i] = &materialized{rel: out}
 		}
-		return run(n.WithChildren(newCh), db, b)
+		return run(n.WithChildren(newCh), db, b, a)
 	}
 }
 

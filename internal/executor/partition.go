@@ -46,20 +46,27 @@ func JoinExecParallelGuarded(kind plan.JoinKind, pred expr.Pred, l, r *relation.
 	}
 	phase := "execute"
 	defer guard.RecoverAs(&err, &phase, "", nil)
-	return partitionedJoinProbe(kind, pred, l, r, workers, nil, b)
+	return partitionedJoinProbe(kind, pred, l, r, workers, nil, b, nil)
 }
 
-func partitionedJoinProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, workers int, st *joinProbe, b *guard.Budget) (*relation.Relation, error) {
+func partitionedJoinProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Relation, workers int, st *joinProbe, b *guard.Budget, a *Adapt) (*relation.Relation, error) {
 	ls, rs := l.Schema(), r.Schema()
 	keys, residual := splitEqui(pred, ls, rs)
 	reg := obs.Default()
 	if len(keys) == 0 {
 		reg.Counter("exec.partition.fallback.nonequi").Inc()
-		return joinExecProbe(kind, pred, l, r, st, b)
+		return joinExecProbe(kind, pred, l, r, st, b, a)
 	}
 	if workers <= 1 || l.Len()+r.Len() < minPartitionRows {
 		reg.Counter("exec.partition.fallback.small").Inc()
-		return joinExecProbe(kind, pred, l, r, st, b)
+		return joinExecProbe(kind, pred, l, r, st, b, a)
+	}
+	// An adaptive build/probe swap covers the whole join, not one
+	// partition: delegate to the serial adaptive join, which commits
+	// the swap (or its own spill escalation) before the first probe.
+	if a.swapWanted(l.Len(), r.Len()) {
+		reg.Counter("exec.partition.fallback.adapt").Inc()
+		return joinExecProbe(kind, pred, l, r, st, b, a)
 	}
 	// Out-of-core escape: when the build side's modeled footprint
 	// cannot fit the byte budget's remaining headroom, the in-memory
@@ -67,7 +74,11 @@ func partitionedJoinProbe(kind plan.JoinKind, pred expr.Pred, l, r *relation.Rel
 	if free, limited := b.BytesFree(); limited {
 		if need := estBytes(r.Len(), rs.Len()); 2*need > free {
 			reg.Counter("exec.partition.spill").Inc()
-			return spillJoinProbe(kind, pred, l, r, st, b, reg, SpillOptions{})
+			opts := SpillOptions{}
+			if a != nil {
+				opts.Dir = a.SpillDir
+			}
+			return spillJoinProbe(kind, pred, l, r, st, b, reg, opts)
 		}
 	}
 	li := make([]int, len(keys))

@@ -150,7 +150,7 @@ func TestPartitionedJoinCounters(t *testing.T) {
 	db := bigDB(rng, 500, 13, "r1", "r2")
 	before := obs.Default().Counter("exec.hash.partitions").Value()
 	st := &joinProbe{}
-	if _, err := partitionedJoinProbe(plan.InnerJoin, eqX("r1", "r2"), db["r1"], db["r2"], 4, st, nil); err != nil {
+	if _, err := partitionedJoinProbe(plan.InnerJoin, eqX("r1", "r2"), db["r1"], db["r2"], 4, st, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if st.Partitions != 4 {

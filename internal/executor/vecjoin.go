@@ -21,7 +21,18 @@ func (e *vecEngine) vecJoin(kind plan.JoinKind, pred expr.Pred, l, r *batch.Rel,
 	keys, residual := splitEqui(pred, ls, rs)
 	if len(keys) == 0 {
 		e.reg.Counter("exec.vector.fallback.join-nonequi").Inc()
-		out, err := joinExecProbe(kind, pred, l.ToRelation(), r.ToRelation(), st, e.b)
+		out, err := joinExecProbe(kind, pred, l.ToRelation(), r.ToRelation(), st, e.b, e.adapt)
+		if err != nil {
+			return nil, err
+		}
+		return batch.FromRelation(out), nil
+	}
+	// An adaptive build/probe swap has no columnar kernel: delegate
+	// the whole join to the adaptive row join, which fires the guard
+	// point and the exec.adapt.* counter itself.
+	if e.adapt.swapWanted(l.N, r.N) {
+		e.reg.Counter("exec.vector.fallback.join-adapt").Inc()
+		out, err := joinExecProbe(kind, pred, l.ToRelation(), r.ToRelation(), st, e.b, e.adapt)
 		if err != nil {
 			return nil, err
 		}
@@ -30,7 +41,11 @@ func (e *vecEngine) vecJoin(kind plan.JoinKind, pred expr.Pred, l, r *batch.Rel,
 	if free, limited := e.b.BytesFree(); limited {
 		if need := estBytes(r.N, rs.Len()); 2*need > free {
 			e.reg.Counter("exec.vector.spill").Inc()
-			out, err := spillJoinProbe(kind, pred, l.ToRelation(), r.ToRelation(), st, e.b, e.reg, SpillOptions{})
+			opts := SpillOptions{}
+			if e.adapt != nil {
+				opts.Dir = e.adapt.SpillDir
+			}
+			out, err := spillJoinProbe(kind, pred, l.ToRelation(), r.ToRelation(), st, e.b, e.reg, opts)
 			if err != nil {
 				return nil, err
 			}

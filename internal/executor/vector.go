@@ -102,6 +102,7 @@ type vecEngine struct {
 	batch int
 	reg   *obs.Registry
 	ann   plan.Annotations // nil outside instrumented runs
+	adapt *Adapt           // nil = static plan, no mid-query adaptivity
 }
 
 // exec is the columnar analogue of run: budget check on entry, an
@@ -262,7 +263,7 @@ func (e *vecEngine) fallback(n plan.Node) (*batch.Rel, bool, error) {
 	if len(ch) > 0 {
 		node = n.WithChildren(newCh)
 	}
-	out, err := run(node, e.db, e.b)
+	out, err := run(node, e.db, e.b, e.adapt)
 	if err != nil {
 		return nil, false, err
 	}

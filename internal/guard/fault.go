@@ -70,6 +70,20 @@ const (
 	// but must release the singleflight so waiters and later requests
 	// are not wedged.
 	PointCacheInsert Point = "plancache.insert"
+	// PointFeedbackRecord fires as an actual-row observation is folded
+	// into the cardinality feedback store.
+	PointFeedbackRecord Point = "feedback.record"
+	// PointFeedbackLookup fires as the estimator consults the feedback
+	// store for a corrected cardinality.
+	PointFeedbackLookup Point = "feedback.lookup"
+	// PointCacheReplan fires before a drift-triggered rebuild of a
+	// cached plan. A fault here must leave the old entry serving —
+	// never a wedged or poisoned slot.
+	PointCacheReplan Point = "plancache.replan"
+	// PointExecBuildSwap fires as an adaptive hash join commits to a
+	// build/probe swap or a spill escalation — before the first probe,
+	// so forcing a fault here exercises the transition boundary.
+	PointExecBuildSwap Point = "executor.buildswap"
 )
 
 // Points returns every registered fault point, sorted.
@@ -92,6 +106,10 @@ func Points() []Point {
 		PointServeAdmit,
 		PointCacheLookup,
 		PointCacheInsert,
+		PointFeedbackRecord,
+		PointFeedbackLookup,
+		PointCacheReplan,
+		PointExecBuildSwap,
 	}
 	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
 	return pts

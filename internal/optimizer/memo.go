@@ -90,6 +90,7 @@ func (o *Optimizer) optimizeMemo(q plan.Node, rules []core.Rule, maxPlans int, r
 	endCost := phase("cost")
 	sess := o.Est.NewSession(reg)
 	sess.SetBudget(o.Opts.Budget)
+	sess.SetFeedback(o.Opts.Feedback)
 	// Extraction over a budget-capped memo still yields the cheapest
 	// plan among everything admitted (seeds are never charged, so a
 	// materializable plan always exists): degradation returns the
@@ -131,13 +132,14 @@ func (o *Optimizer) optimizeMemo(q plan.Node, rules []core.Rule, maxPlans int, r
 
 	bestRanked := Ranked{Plan: bestPlan, Cost: bestCost, Rows: bestRows, Derivation: derivation}
 	res := &Result{
-		Best:        bestRanked,
-		Original:    Ranked{Plan: q, Cost: origCost, Rows: origRows},
-		Considered:  m.Exprs(),
-		Plans:       []Ranked{bestRanked},
-		RuleFirings: m.RuleFirings(),
-		Phases:      *phases,
-		Degraded:    degraded,
+		Best:                bestRanked,
+		Original:            Ranked{Plan: q, Cost: origCost, Rows: origRows},
+		Considered:          m.Exprs(),
+		Plans:               []Ranked{bestRanked},
+		RuleFirings:         m.RuleFirings(),
+		Phases:              *phases,
+		Degraded:            degraded,
+		FeedbackCorrections: int(sess.FeedbackHits()),
 	}
 	if len(required) > 0 {
 		enforced := 0

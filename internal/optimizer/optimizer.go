@@ -26,6 +26,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/simplify"
 	"repro/internal/stats"
+	"repro/internal/stats/feedback"
 )
 
 // Options configure an optimization run.
@@ -55,6 +56,13 @@ type Options struct {
 	// the heuristic left-deep order when that is cheaper, with
 	// Result.Degraded naming the reason.
 	Budget *guard.Budget
+	// Feedback, when non-nil, attaches a cardinality feedback store to
+	// the run's estimation session: subtrees with recorded
+	// estimated→actual corrections are costed at the observed
+	// cardinality instead of the static model's. Off (nil) by default —
+	// a nil store leaves plans, costs and traces bit-identical to a
+	// run without feedback.
+	Feedback *feedback.Store
 	// UseMemo selects the enumeration engine. The default, MemoAuto,
 	// explores through the internal/memo group table — equivalence
 	// groups with branch-and-bound extraction — whenever every rule
@@ -113,6 +121,10 @@ type Result struct {
 	// found before the stop — possibly the greedy left-deep fallback
 	// — rather than the optimum over the full equivalence class.
 	Degraded string
+	// FeedbackCorrections counts the distinct subtrees this run costed
+	// from feedback corrections instead of the static model (0 when
+	// Options.Feedback is nil or no correction matched).
+	FeedbackCorrections int
 	// Order, on the memo path, reports how a root ORDER BY was
 	// satisfied as a physical property: the required order, what the
 	// chosen plan delivers, and how many enforcer sorts were injected
@@ -281,6 +293,7 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (res *Result, err er
 	}
 	sess := o.Est.NewSession(reg)
 	sess.SetBudget(b)
+	sess.SetFeedback(o.Opts.Feedback)
 	if degraded != "" {
 		reg.Counter("guard.degraded").Inc()
 		// The greedy left-deep order joins the truncated closure as
@@ -309,6 +322,7 @@ func (o *Optimizer) Optimize(q plan.Node, db plan.Database) (res *Result, err er
 	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Cost < ranked[j].Cost })
 	res.Plans = ranked
 	res.Best = ranked[0]
+	res.FeedbackCorrections = int(sess.FeedbackHits())
 	endRank()
 	res.Phases = phases
 	root.Annotate("plans=%d best=%.1f", res.Considered, res.Best.Cost)
@@ -396,6 +410,9 @@ func Explain(res *Result) string {
 	}
 	if len(res.Best.Derivation) > 0 {
 		out += "derivation:      " + strings.Join(res.Best.Derivation, " -> ") + "\n"
+	}
+	if res.FeedbackCorrections > 0 {
+		out += fmt.Sprintf("feedback:        corrected %d estimates\n", res.FeedbackCorrections)
 	}
 	if res.Order != nil {
 		prov := fmt.Sprintf("enforced %d", res.Order.Enforced)

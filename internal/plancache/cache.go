@@ -24,6 +24,7 @@ package plancache
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/guard"
@@ -81,12 +82,13 @@ type Cache struct {
 	shards [numShards]shard
 	reg    *obs.Registry
 
-	hits    *obs.Counter
-	misses  *obs.Counter
-	evicts  *obs.Counter
-	waits   *obs.Counter
-	bytes   *obs.Gauge
-	entries *obs.Gauge
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evicts    *obs.Counter
+	waits     *obs.Counter
+	refreshes *obs.Counter
+	bytes     *obs.Gauge
+	entries   *obs.Gauge
 }
 
 const numShards = 16
@@ -101,13 +103,14 @@ func New(maxBytes int64, reg *obs.Registry) *Cache {
 		reg = obs.Default()
 	}
 	c := &Cache{
-		reg:     reg,
-		hits:    reg.Counter("plancache.hits"),
-		misses:  reg.Counter("plancache.misses"),
-		evicts:  reg.Counter("plancache.evictions"),
-		waits:   reg.Counter("plancache.singleflight_waits"),
-		bytes:   reg.Gauge("plancache.bytes"),
-		entries: reg.Gauge("plancache.entries"),
+		reg:       reg,
+		hits:      reg.Counter("plancache.hits"),
+		misses:    reg.Counter("plancache.misses"),
+		evicts:    reg.Counter("plancache.evictions"),
+		waits:     reg.Counter("plancache.singleflight_waits"),
+		refreshes: reg.Counter("plancache.refreshes"),
+		bytes:     reg.Gauge("plancache.bytes"),
+		entries:   reg.Gauge("plancache.entries"),
 	}
 	perShard := maxBytes / numShards
 	if perShard < 1 {
@@ -214,6 +217,56 @@ func (c *Cache) Do(ctx context.Context, key string, hash uint64, build func() (a
 		return nil, Miss, err
 	}
 	return entry, Miss, nil
+}
+
+// Refresh rebuilds the entry for key in place — the drift-triggered
+// re-planning path. Unlike Do it never returns a stale cached value:
+// it runs build (under the same per-shard singleflight, so concurrent
+// refreshes and misses of the key collapse into one optimizer run)
+// and replaces the entry on success. The old entry keeps serving Do
+// callers throughout the rebuild and survives a build error or panic
+// untouched — a failed refresh can wedge neither the slot nor the
+// waiters, and never leaves a poisoned entry behind.
+func (c *Cache) Refresh(ctx context.Context, key string, hash uint64, build func() (any, int64, error)) (*Entry, error) {
+	if err := guard.Safely("plancache.replan", key, c.reg, func() error {
+		return guard.Hit(guard.PointCacheReplan)
+	}); err != nil {
+		return nil, err
+	}
+	s := &c.shards[hash%numShards]
+
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		// Someone is already building this key (a racing refresh, or a
+		// miss after an eviction). Share its outcome instead of
+		// stacking a second optimizer run.
+		s.mu.Unlock()
+		c.waits.Inc()
+		select {
+		case <-f.done:
+			return f.entry, f.err
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %v", guard.ErrCancelled, ctx.Err())
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	c.refreshes.Inc()
+	var entry *Entry
+	var err error
+	func() {
+		defer func() {
+			f.entry, f.err = entry, err
+			close(f.done)
+			s.mu.Lock()
+			delete(s.flights, key)
+			s.mu.Unlock()
+		}()
+		entry, err = c.runBuild(s, key, hash, build)
+	}()
+	return entry, err
 }
 
 // runBuild executes the build outside the shard lock and inserts the
@@ -366,24 +419,43 @@ func (c *Cache) Bytes() int64 {
 	return total
 }
 
+// Entries snapshots every cached entry across all shards, sorted by
+// key — the /debug/cache detail listing. The returned slice is fresh
+// but the *Entry values are the live (immutable) cache entries.
+func (c *Cache) Entries() []*Entry {
+	var out []*Entry
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, n := range s.entries {
+			out = append(out, n.entry)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
 // Stats is a point-in-time summary for /debug/cache.
 type Stats struct {
-	Entries int   `json:"entries"`
-	Bytes   int64 `json:"bytes"`
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Evicted int64 `json:"evictions"`
-	Waits   int64 `json:"singleflight_waits"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evicted   int64 `json:"evictions"`
+	Waits     int64 `json:"singleflight_waits"`
+	Refreshes int64 `json:"refreshes"`
 }
 
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Entries: c.Len(),
-		Bytes:   c.Bytes(),
-		Hits:    c.hits.Value(),
-		Misses:  c.misses.Value(),
-		Evicted: c.evicts.Value(),
-		Waits:   c.waits.Value(),
+		Entries:   c.Len(),
+		Bytes:     c.Bytes(),
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evicted:   c.evicts.Value(),
+		Waits:     c.waits.Value(),
+		Refreshes: c.refreshes.Value(),
 	}
 }

@@ -15,12 +15,14 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/guard"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/schema"
+	"repro/internal/stats/feedback"
 	"repro/internal/value"
 )
 
@@ -194,6 +196,21 @@ func (e *Estimator) rows(n plan.Node, s *Session) (float64, error) {
 			return v.(float64), nil
 		}
 		s.rowsMiss.Inc()
+		// Learned truth beats the model: a feedback correction for this
+		// subtree (recorded from an instrumented execution) replaces the
+		// static estimate. Cached in the memo like any other estimate so
+		// the store is consulted once per distinct subtree per session.
+		if s.fb != nil {
+			rows, ok, err := s.fb.Lookup(key)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				s.fbHits.Add(1)
+				s.rows.Store(key, rows)
+				return rows, nil
+			}
+		}
 	}
 	v, err := e.rowsSwitch(n, s)
 	if err != nil {
@@ -502,6 +519,8 @@ type Session struct {
 	rows   sync.Map // plan key -> float64
 	cost   sync.Map // plan key -> memoEntry
 	budget *guard.Budget
+	fb     *feedback.Store
+	fbHits atomic.Int64
 
 	rowsHits, rowsMiss, costHits, costMiss *obs.Counter
 }
@@ -518,6 +537,17 @@ func (e *Estimator) NewSession(reg *obs.Registry) *Session {
 		costMiss: reg.Counter("stats.memo.cost_misses"),
 	}
 }
+
+// SetFeedback attaches a cardinality feedback store: row estimation
+// consults it by subtree fingerprint before the static model, so the
+// session ranks plans with corrected cardinalities where executions
+// have recorded the truth. A nil store (the default) adds one pointer
+// comparison per memo miss.
+func (s *Session) SetFeedback(fb *feedback.Store) { s.fb = fb }
+
+// FeedbackHits reports how many distinct subtrees this session
+// estimated from feedback corrections rather than the static model.
+func (s *Session) FeedbackHits() int64 { return s.fbHits.Load() }
 
 // SetBudget attaches a guard budget to the session: every exported
 // estimation entry point checks cancellation before descending, so a

@@ -117,7 +117,7 @@ func flightCounters(reg *obs.Registry) map[string]int64 {
 	var out map[string]int64
 	for name, v := range snap.Counters {
 		if strings.HasPrefix(name, "memo.") || strings.HasPrefix(name, "guard.") ||
-			strings.HasPrefix(name, "optimizer.") {
+			strings.HasPrefix(name, "optimizer.") || strings.HasPrefix(name, "feedback.") {
 			if out == nil {
 				out = make(map[string]int64)
 			}

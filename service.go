@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -22,8 +23,10 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/plancache"
+	"repro/internal/relation"
 	"repro/internal/sql"
 	"repro/internal/stats"
+	"repro/internal/stats/feedback"
 	"repro/internal/value"
 )
 
@@ -62,6 +65,28 @@ type ServiceConfig struct {
 	MaxPlans int
 	// FlightCap sizes the flight recorder ring (0 = default).
 	FlightCap int
+	// Feedback enables the cardinality-feedback loop: every execution
+	// runs instrumented, per-subtree actual row counts are folded into
+	// a feedback store keyed by template-subtree fingerprint, and a
+	// template whose max subtree q-error stays past ReplanQError for
+	// ReplanAfter consecutive runs is re-optimized in place with the
+	// corrected cardinalities. Off by default: the serving path is then
+	// bit-identical to a service without the feature.
+	Feedback bool
+	// ReplanQError is the max-subtree q-error past which a run counts
+	// as drifted (default 10).
+	ReplanQError float64
+	// ReplanAfter is the number of consecutive drifted runs that
+	// triggers a re-plan (default 3).
+	ReplanAfter int
+	// SwapFactor is the executor's mid-query build/probe swap
+	// threshold in feedback mode: a hash join whose build side
+	// materializes more than SwapFactor× the probe side's rows builds
+	// on the smaller side instead (default 4; negative disables).
+	SwapFactor float64
+	// SpillDir is the adaptive spill-escalation directory in feedback
+	// mode (empty = os.TempDir()).
+	SpillDir string
 }
 
 // Service serves parameterized SQL over an in-memory database with a
@@ -79,6 +104,30 @@ type Service struct {
 	queueDepth *obs.Gauge
 	shed       *obs.Counter
 	requests   *obs.CounterVec
+
+	// Feedback mode (nil fb = off, the static serving path).
+	fb    *feedback.Store
+	adapt *executor.Adapt
+	tpl   sync.Map // template key -> *tplStats
+}
+
+// tplStats is one template's drift bookkeeping: the consecutive-drift
+// streak, the last observed max subtree q-error (stored ×1000 to stay
+// atomic), total corrections recorded, and the replan generation.
+type tplStats struct {
+	drift       atomic.Int64
+	lastQMilli  atomic.Int64
+	corrections atomic.Int64
+	gen         atomic.Int64
+}
+
+// statsFor returns (creating on first use) key's drift bookkeeping.
+func (s *Service) statsFor(key string) *tplStats {
+	if v, ok := s.tpl.Load(key); ok {
+		return v.(*tplStats)
+	}
+	v, _ := s.tpl.LoadOrStore(key, &tplStats{})
+	return v.(*tplStats)
 }
 
 // NewService builds a serving facade over cfg.DB. Statistics are
@@ -112,6 +161,23 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		shed:       ob.Registry.Counter("serve.shed"),
 		requests:   ob.Registry.CounterVec("serve.requests", "outcome"),
 	}
+	if cfg.Feedback {
+		if s.cfg.ReplanQError <= 0 {
+			s.cfg.ReplanQError = 10
+		}
+		if s.cfg.ReplanAfter <= 0 {
+			s.cfg.ReplanAfter = 3
+		}
+		swap := s.cfg.SwapFactor
+		switch {
+		case swap == 0:
+			swap = 4
+		case swap < 0:
+			swap = 0 // explicit disable
+		}
+		s.fb = feedback.New(feedback.Options{Obs: ob.Registry})
+		s.adapt = &executor.Adapt{SwapFactor: swap, Spill: true, SpillDir: s.cfg.SpillDir}
+	}
 	return s, nil
 }
 
@@ -121,6 +187,47 @@ func (s *Service) Observer() *Observer { return s.ob }
 
 // CacheStats snapshots the plan cache.
 func (s *Service) CacheStats() plancache.Stats { return s.cache.Stats() }
+
+// CacheDebug is the /debug/cache payload: aggregate cache counters
+// plus one row per cached template with its feedback state — last
+// observed max q-error, corrections recorded, replan generation.
+type CacheDebug struct {
+	plancache.Stats
+	Plans []CachePlanDebug `json:"plans"`
+}
+
+// CachePlanDebug describes one cached template.
+type CachePlanDebug struct {
+	Key         string  `json:"key"`
+	PlanKey     string  `json:"plan_key"`
+	Bytes       int64   `json:"bytes"`
+	Degraded    string  `json:"degraded,omitempty"`
+	LastQError  float64 `json:"last_qerror,omitempty"`
+	Corrections int64   `json:"corrections,omitempty"`
+	ReplanGen   int64   `json:"replan_gen,omitempty"`
+	DriftRuns   int64   `json:"drift_runs,omitempty"`
+}
+
+// CacheDebug snapshots the cache and its per-template feedback state.
+func (s *Service) CacheDebug() CacheDebug {
+	d := CacheDebug{Stats: s.cache.Stats()}
+	for _, e := range s.cache.Entries() {
+		row := CachePlanDebug{Key: e.Key, Bytes: e.Bytes}
+		if cp, ok := e.Value.(*cachedPlan); ok {
+			row.PlanKey = plan.Key(cp.plan)
+			row.Degraded = cp.degraded
+		}
+		if v, ok := s.tpl.Load(e.Key); ok {
+			ts := v.(*tplStats)
+			row.LastQError = float64(ts.lastQMilli.Load()) / 1000
+			row.Corrections = ts.corrections.Load()
+			row.ReplanGen = ts.gen.Load()
+			row.DriftRuns = ts.drift.Load()
+		}
+		d.Plans = append(d.Plans, row)
+	}
+	return d
+}
 
 // Request is one query submission.
 type Request struct {
@@ -157,6 +264,16 @@ type Response struct {
 	OptimizeNs int64 `json:"optimize_ns"`
 	BindNs     int64 `json:"bind_ns"`
 	ExecNs     int64 `json:"exec_ns"`
+	// Feedback metadata (feedback mode only). MaxQError is this
+	// execution's worst subtree q-error; FeedbackCorrections is how
+	// many estimates the served plan's optimization took from the
+	// feedback store; ReplanGen counts how many times this template
+	// has been re-planned; Replanned marks the request whose drift
+	// observation triggered a re-plan.
+	MaxQError           float64 `json:"max_qerror,omitempty"`
+	FeedbackCorrections int     `json:"feedback_corrections,omitempty"`
+	ReplanGen           int64   `json:"replan_gen,omitempty"`
+	Replanned           bool    `json:"replanned,omitempty"`
 }
 
 // ServeError is a classified request failure. Code is stable and
@@ -201,6 +318,16 @@ type cachedPlan struct {
 	plan     plan.Node
 	nparams  int
 	degraded string
+	// fbCorrections is how many estimates this plan's optimization
+	// took from the feedback store (0 for a cold or feedback-off
+	// optimization).
+	fbCorrections int
+	// estRows snapshots, per composite subtree fingerprint, the row
+	// estimates the optimizer believed when it chose this plan
+	// (feedback mode only). Drift is actuals measured against THESE —
+	// not against a freshly corrected session, which would absorb the
+	// previous run's corrections and mask a stale cached plan.
+	estRows map[string]float64
 }
 
 // planBytes estimates a cached plan's footprint for the cache's byte
@@ -354,9 +481,17 @@ func (s *Service) serve(ctx context.Context, req Request, b *guard.Budget, reg *
 	bindNs := time.Since(bindStart).Nanoseconds()
 	planKey := plan.Key(bound)
 
-	// Execute under the request budget.
+	// Execute under the request budget. Feedback mode runs
+	// instrumented (per-subtree actuals feed the store) and adaptive
+	// (mid-query build/probe swap and spill escalation).
 	execStart := time.Now()
-	rel, err := executor.RunGuarded(bound, s.db, b)
+	var rel *relation.Relation
+	var ann plan.Annotations
+	if s.fb != nil {
+		rel, ann, err = executor.RunInstrumentedAdaptive(bound, s.db, reg, b, s.adapt)
+	} else {
+		rel, err = executor.RunGuarded(bound, s.db, b)
+	}
 	execNs := time.Since(execStart).Nanoseconds()
 	if err != nil {
 		return nil, planKey, key, classify(err, false)
@@ -370,6 +505,12 @@ func (s *Service) serve(ctx context.Context, req Request, b *guard.Budget, reg *
 		OptimizeNs:  optimizeNs,
 		BindNs:      bindNs,
 		ExecNs:      execNs,
+	}
+	if s.fb != nil {
+		replan := req.Cache != "bypass" // bypass has no cache entry to rebuild
+		if err := s.observeExecution(ctx, key, hash, node, cached, bound, ann, replan, b, reg, resp); err != nil {
+			return nil, planKey, key, classify(err, false)
+		}
 	}
 	attrs := rel.Schema().Attrs()
 	resp.Columns = make([]string, len(attrs))
@@ -388,7 +529,9 @@ func (s *Service) serve(ctx context.Context, req Request, b *guard.Budget, reg *
 }
 
 // optimizeTemplate runs the full optimizer on the parameterized
-// template under the request's budget.
+// template under the request's budget. In feedback mode the feedback
+// store rides along, so re-optimizations rank plans with corrected
+// cardinalities (a cold store changes nothing).
 func (s *Service) optimizeTemplate(node plan.Node, b *guard.Budget, reg *obs.Registry) (*cachedPlan, error) {
 	o := optimizer.New(s.est)
 	o.Opts.Workers = s.cfg.Workers
@@ -397,11 +540,146 @@ func (s *Service) optimizeTemplate(node plan.Node, b *guard.Budget, reg *obs.Reg
 	}
 	o.Opts.Budget = b
 	o.Opts.Obs = reg
+	o.Opts.Feedback = s.fb
 	res, err := o.Optimize(node, s.db)
 	if err != nil {
 		return nil, err
 	}
-	return &cachedPlan{plan: res.Best.Plan, nparams: plan.ParamCount(node), degraded: res.Degraded}, nil
+	cp := &cachedPlan{
+		plan:          res.Best.Plan,
+		nparams:       plan.ParamCount(node),
+		degraded:      res.Degraded,
+		fbCorrections: res.FeedbackCorrections,
+	}
+	if s.fb != nil {
+		// Snapshot what the optimizer believed, subtree by subtree —
+		// the baseline later executions measure drift against. The
+		// session memoizes, so this is one pass over distinct subtrees.
+		sess := s.est.NewSession(reg)
+		sess.SetBudget(b)
+		sess.SetFeedback(s.fb)
+		cp.estRows = make(map[string]float64)
+		var walkErr error
+		plan.Walk(cp.plan, func(n plan.Node) {
+			if walkErr != nil || len(n.Children()) == 0 {
+				return
+			}
+			est, err := sess.Rows(n)
+			if err != nil {
+				walkErr = err
+				return
+			}
+			cp.estRows[plan.Key(n)] = est
+		})
+		if walkErr != nil {
+			return nil, walkErr
+		}
+	}
+	return cp, nil
+}
+
+// observeExecution closes the feedback loop after one instrumented
+// execution: per-subtree actual cardinalities are compared against
+// the (feedback-corrected) estimates the optimizer would see today,
+// folded into the store keyed by TEMPLATE subtree fingerprint (so the
+// learning transfers across parameter bindings), and a template that
+// keeps drifting past the q-error threshold is re-planned in place.
+func (s *Service) observeExecution(ctx context.Context, key string, hash uint64, node plan.Node, cached *cachedPlan, bound plan.Node, ann plan.Annotations, replan bool, b *guard.Budget, reg *obs.Registry, resp *Response) error {
+	// Drift is measured against the estimates the cached plan was
+	// optimized with (cached.estRows), not a freshly corrected
+	// session: corrections recorded by earlier runs would otherwise
+	// make the estimates look perfect while the cached plan — built
+	// before those corrections — is still the stale one.
+	type obsRow struct {
+		key    string
+		est    float64
+		actual int
+	}
+	var rows []obsRow
+	maxQ := 1.0
+	var walk func(t, bnd plan.Node)
+	walk = func(t, bnd plan.Node) {
+		// BindParams preserves tree shape: the bound tree is the
+		// template with Param leaves swapped for Consts, node for node.
+		tc, bc := t.Children(), bnd.Children()
+		if len(tc) != len(bc) {
+			return
+		}
+		for i := range tc {
+			walk(tc[i], bc[i])
+		}
+		if len(tc) == 0 {
+			return // scans are exact; only composite subtrees are corrected
+		}
+		a, ok := ann[bnd]
+		if !ok {
+			return
+		}
+		key := plan.Key(t)
+		est, ok := cached.estRows[key]
+		if !ok {
+			return
+		}
+		if q := flight.QError(est, a.Rows); q > maxQ {
+			maxQ = q
+		}
+		rows = append(rows, obsRow{key: key, est: est, actual: a.Rows})
+	}
+	walk(cached.plan, bound)
+	for _, r := range rows {
+		if err := s.fb.Record(r.key, r.est, float64(r.actual)); err != nil {
+			return err
+		}
+	}
+	reg.Counter("feedback.corrections").Add(int64(len(rows)))
+
+	ts := s.statsFor(key)
+	ts.corrections.Add(int64(len(rows)))
+	ts.lastQMilli.Store(int64(maxQ * 1000))
+	resp.MaxQError = maxQ
+	resp.FeedbackCorrections = cached.fbCorrections
+	resp.ReplanGen = ts.gen.Load()
+
+	if maxQ < s.cfg.ReplanQError || !replan {
+		if maxQ < s.cfg.ReplanQError {
+			ts.drift.Store(0)
+		}
+		return nil
+	}
+	streak := ts.drift.Add(1)
+	// CompareAndSwap elects exactly one of the racing requests that
+	// crossed the threshold to run the re-plan; the others see the
+	// reset streak and move on.
+	if streak < int64(s.cfg.ReplanAfter) || !ts.drift.CompareAndSwap(streak, 0) {
+		return nil
+	}
+	reg.Counter("feedback.drift_trips").Inc()
+	if err := s.replanTemplate(ctx, key, hash, node, b, reg); err != nil {
+		// A failed re-plan never fails the request (its results are
+		// already in hand) and never costs the cache its old entry —
+		// Refresh keeps the previous plan serving on error.
+		reg.Counter("feedback.replan_errors").Inc()
+		return nil
+	}
+	reg.Counter("feedback.replans").Inc()
+	resp.ReplanGen = ts.gen.Add(1)
+	resp.Replanned = true
+	return nil
+}
+
+// replanTemplate atomically rebuilds key's cache entry from a fresh
+// feedback-corrected optimization. Concurrent replans of the same
+// template collapse into one build (singleflight), and the old entry
+// serves until the new one lands.
+func (s *Service) replanTemplate(ctx context.Context, key string, hash uint64, node plan.Node, b *guard.Budget, reg *obs.Registry) error {
+	_, err := s.cache.Refresh(ctx, key, hash, func() (any, int64, error) {
+		cp, err := s.optimizeTemplate(node, b, reg)
+		if err != nil {
+			return nil, 0, err
+		}
+		return cp, planBytes(key, plan.Key(cp.plan)), nil
+	})
+	return err
 }
 
 // record deposits the request into the flight recorder and folds the

@@ -22,7 +22,7 @@ func (s *Service) Handler() http.Handler {
 	mux.Handle("/debug/queries", s.ob.Handler())
 	mux.HandleFunc("/debug/cache", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(s.cache.Stats())
+		json.NewEncoder(w).Encode(s.CacheDebug())
 	})
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
